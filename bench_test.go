@@ -1,0 +1,345 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks. Each sub-benchmark runs one cell of an
+// experiment (application x policy x CPU count) inside the deterministic
+// simulation and reports the virtual execution time as the "sim_s" metric
+// — the value the corresponding figure plots. Host ns/op measures the
+// simulator, sim_s reproduces the paper.
+//
+// The CPU sweeps here are trimmed to keep the default benchmark run
+// manageable; cmd/experiments regenerates the full-range figures.
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"dynprof/internal/apps"
+	"dynprof/internal/core"
+	"dynprof/internal/des"
+	"dynprof/internal/exp"
+	"dynprof/internal/guide"
+	"dynprof/internal/image"
+	"dynprof/internal/machine"
+	"dynprof/internal/vt"
+)
+
+// cell runs one (app, policy, cpus) experiment cell b.N times.
+func cell(b *testing.B, appName string, policy exp.Policy, cpus int, args map[string]int) {
+	b.Helper()
+	app, err := apps.Get(appName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last, err = exp.RunPolicy(machine.IBMPower3Cluster(), app, policy, cpus, args, 2003)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.Elapsed.Seconds(), "sim_s")
+	b.ReportMetric(float64(last.TraceBytes), "trace_B")
+	if policy == exp.Dynamic {
+		b.ReportMetric(last.CreateAndInstrument.Seconds(), "instr_s")
+	}
+}
+
+// fig7 runs one panel of Figure 7 over a trimmed CPU sweep.
+func fig7(b *testing.B, appName string, cpuList []int) {
+	app, err := apps.Get(appName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, policy := range exp.PoliciesFor(app) {
+		for _, cpus := range cpuList {
+			policy, cpus := policy, cpus
+			b.Run(fmt.Sprintf("%s/%dcpu", policy, cpus), func(b *testing.B) {
+				cell(b, appName, policy, cpus, nil)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7aSmg98 reproduces Figure 7(a): the execution time of the
+// instrumented versions of Smg98.
+func BenchmarkFig7aSmg98(b *testing.B) { fig7(b, "smg98", []int{1, 4, 16}) }
+
+// BenchmarkFig7bSppm reproduces Figure 7(b).
+func BenchmarkFig7bSppm(b *testing.B) { fig7(b, "sppm", []int{1, 4, 16}) }
+
+// BenchmarkFig7cSweep3d reproduces Figure 7(c) (no 1-CPU run exists).
+func BenchmarkFig7cSweep3d(b *testing.B) { fig7(b, "sweep3d", []int{2, 4, 16}) }
+
+// BenchmarkFig7dUmt98 reproduces Figure 7(d) (OpenMP: one node, 1-8 CPUs).
+func BenchmarkFig7dUmt98(b *testing.B) { fig7(b, "umt98", []int{1, 2, 4, 8}) }
+
+// BenchmarkFig8aConfSync reproduces Figure 8(a): VT_confsync cost on the
+// IBM system, with and without configuration changes.
+func BenchmarkFig8aConfSync(b *testing.B) {
+	for _, variant := range []struct {
+		name    string
+		changes int
+	}{{"NoChange", 0}, {"Changes", 8}} {
+		for _, cpus := range []int{2, 64, 512} {
+			variant, cpus := variant, cpus
+			b.Run(fmt.Sprintf("%s/%dcpu", variant.name, cpus), func(b *testing.B) {
+				var mean des.Time
+				for i := 0; i < b.N; i++ {
+					var err error
+					mean, err = exp.ConfSyncProbe(machine.IBMPower3Cluster(), cpus, 16, 64,
+						variant.changes, false, 2003)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(mean.Seconds(), "sim_s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8bStatistics reproduces Figure 8(b): VT_confsync used for
+// runtime generation of statistical data.
+func BenchmarkFig8bStatistics(b *testing.B) {
+	for _, cpus := range []int{2, 64, 512} {
+		cpus := cpus
+		b.Run(fmt.Sprintf("%dcpu", cpus), func(b *testing.B) {
+			var mean des.Time
+			for i := 0; i < b.N; i++ {
+				var err error
+				mean, err = exp.ConfSyncProbe(machine.IBMPower3Cluster(), cpus, 16, 64, 0, true, 2003)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(mean.Seconds(), "sim_s")
+		})
+	}
+}
+
+// BenchmarkFig8cIA32 reproduces Figure 8(c): VT_confsync on the Intel IA32
+// Linux cluster.
+func BenchmarkFig8cIA32(b *testing.B) {
+	for _, cpus := range []int{2, 8, 16} {
+		cpus := cpus
+		b.Run(fmt.Sprintf("%dcpu", cpus), func(b *testing.B) {
+			var mean des.Time
+			for i := 0; i < b.N; i++ {
+				var err error
+				mean, err = exp.ConfSyncProbe(machine.IA32LinuxCluster(), cpus, 16, 64, 0, false, 2003)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(mean.Seconds(), "sim_s")
+		})
+	}
+}
+
+// BenchmarkFig9CreateAndInstrument reproduces Figure 9: the time used by
+// dynprof to create and instrument each application.
+func BenchmarkFig9CreateAndInstrument(b *testing.B) {
+	decks := map[string]map[string]int{
+		"smg98":   {"nx": 6, "ny": 6, "nz": 8, "iters": 1},
+		"sppm":    {"nx": 6, "ny": 6, "nz": 6, "steps": 1},
+		"sweep3d": {"nx": 64, "ny": 4, "nz": 4, "iters": 1},
+		"umt98":   {"zones": 64, "angles": 8, "iters": 1},
+	}
+	cpusFor := map[string][]int{
+		"smg98":   {1, 16},
+		"sppm":    {1, 16},
+		"sweep3d": {2, 16},
+		"umt98":   {1, 8},
+	}
+	for _, name := range apps.Names() {
+		for _, cpus := range cpusFor[name] {
+			name, cpus := name, cpus
+			b.Run(fmt.Sprintf("%s/%dcpu", name, cpus), func(b *testing.B) {
+				app, err := apps.Get(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var last exp.Result
+				for i := 0; i < b.N; i++ {
+					last, err = exp.RunPolicy(machine.IBMPower3Cluster(), app, exp.Dynamic, cpus, decks[name], 2003)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(last.CreateAndInstrument.Seconds(), "sim_s")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2Apps runs each ASCI kernel uninstrumented on 4 CPUs —
+// Table 2's application set as a baseline suite.
+func BenchmarkTable2Apps(b *testing.B) {
+	for _, name := range apps.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			cell(b, name, exp.None, 4, nil)
+		})
+	}
+}
+
+// BenchmarkTable3Policies runs Smg98 on 4 CPUs under every Table 3 policy.
+func BenchmarkTable3Policies(b *testing.B) {
+	for _, policy := range exp.AllPolicies() {
+		policy := policy
+		b.Run(policy.String(), func(b *testing.B) {
+			cell(b, "smg98", policy, 4, nil)
+		})
+	}
+}
+
+// --- ablation benchmarks for the design choices DESIGN.md calls out ---
+
+// BenchmarkTrampolineExecution measures the simulated-image cost of an
+// unpatched call gate versus one displaced into a base+mini trampoline
+// chain (the Figure 1 mechanism itself).
+func BenchmarkTrampolineExecution(b *testing.B) {
+	build := func(patched bool, chain int) *image.Image {
+		bl := image.NewBuilder("micro")
+		if _, err := bl.AddFunc(image.FuncSpec{Name: "f", BodyWords: 16, Exits: 1}); err != nil {
+			b.Fatal(err)
+		}
+		img := bl.Build()
+		if patched {
+			sym := img.MustLookup("f")
+			id := img.NewSnippetID()
+			img.BindSnippet(id, "s", func(ec image.ExecCtx) {})
+			for i := 0; i < chain; i++ {
+				h, err := img.InsertProbe(sym, image.EntryPoint, 0, id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				h.SetActive(true)
+			}
+		}
+		return img
+	}
+	ctx := &nullExecCtx{}
+	for _, cfg := range []struct {
+		name    string
+		patched bool
+		chain   int
+	}{{"pristine", false, 0}, {"patched-1", true, 1}, {"patched-4", true, 4}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			img := build(cfg.patched, cfg.chain)
+			sym := img.MustLookup("f")
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cycles = img.ExecEntry(sym, ctx)
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+type nullExecCtx struct{}
+
+func (*nullExecCtx) ThreadID() int    { return 0 }
+func (*nullExecCtx) Now() des.Time    { return 0 }
+func (*nullExecCtx) Charge(cyc int64) {}
+
+// BenchmarkProbeInsertRemove measures patch/unpatch round trips on a
+// 199-function image (dynprof's per-function insertion cost, host-side).
+func BenchmarkProbeInsertRemove(b *testing.B) {
+	app, err := apps.Get("smg98")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin, err := guide.Build(app, guide.BuildOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := vt.NewCollector()
+	v := vt.NewCtx(vt.Options{Rank: 0, Collector: col})
+	v.Initialize(nil)
+	s := des.NewScheduler(1)
+	j, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: 1, Hold: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := j.Processes()[0].Image()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range app.Subset {
+			sym := img.MustLookup(f)
+			id := img.NewSnippetID()
+			img.BindSnippet(id, f, v.BeginSnippet(v.FuncDef(f)))
+			h, err := img.InsertProbe(sym, image.EntryPoint, 0, id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.SetActive(true)
+			if err := h.Remove(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkHybridConfSyncPoints measures the Section 5.1 hybrid: the cost
+// of a run whose safe points were inserted dynamically at startup,
+// against the same run without them.
+func BenchmarkHybridConfSyncPoints(b *testing.B) {
+	for _, hybrid := range []bool{false, true} {
+		hybrid := hybrid
+		name := "plain"
+		if hybrid {
+			name = "confsync-points"
+		}
+		b.Run(name, func(b *testing.B) {
+			var elapsed des.Time
+			for i := 0; i < b.N; i++ {
+				elapsed = runHybrid(b, hybrid)
+			}
+			b.ReportMetric(elapsed.Seconds(), "sim_s")
+		})
+	}
+}
+
+func runHybrid(b *testing.B, withPoints bool) des.Time {
+	b.Helper()
+	app, err := apps.Get("sppm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := des.NewScheduler(2003)
+	var job *guide.Job
+	s.Spawn("dynprof", func(p *des.Proc) {
+		ss, err := newHybridSession(p, app)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		job = ss.Job()
+		if withPoints {
+			if err := ss.InsertConfSyncAt(p, "sppm_StepDriver"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		ss.Start(p)
+		ss.Quit(p)
+	})
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return job.MainElapsed()
+}
+
+// newHybridSession builds a minimal dynprof session over app for the
+// hybrid benchmark.
+func newHybridSession(p *des.Proc, app *guide.App) (*core.Session, error) {
+	return core.NewSession(p, core.Config{
+		Machine:   machine.IBMPower3Cluster(),
+		App:       app,
+		Procs:     4,
+		Args:      map[string]int{"nx": 8, "ny": 8, "nz": 8, "steps": 6},
+		CountOnly: true,
+	})
+}

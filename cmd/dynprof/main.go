@@ -1,0 +1,210 @@
+// Command dynprof is the prototype dynamic instrumenter, with the paper's
+// invocation shape:
+//
+//	dynprof [flags] <stdin> <stdout> <timefile> <target> [key=val ...]
+//
+// The first three parameters specify the command script ("-" for the
+// process's stdin), the tool output ("-" for stdout), and the file to
+// store the internal timings collected during instrumentation. The target
+// is one of the ASCI kernel applications (smg98, sppm, sweep3d, umt98),
+// followed by its input-deck parameters. The flags stand in for the poe
+// parameters of the original tool.
+//
+// Example:
+//
+//	echo 'insert-file subset.txt
+//	start
+//	quit' | dynprof -procs 8 - - timings.txt smg98 nx=12 iters=4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dynprof/internal/apps"
+	"dynprof/internal/core"
+	"dynprof/internal/des"
+	"dynprof/internal/guide"
+	"dynprof/internal/machine"
+	"dynprof/internal/vgv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	procs := flag.Int("procs", 4, "MPI ranks (or OpenMP threads for umt98)")
+	machName := flag.String("machine", "ibm", "machine preset: ibm or ia32")
+	seed := flag.Uint64("seed", 2003, "simulation seed")
+	trace := flag.String("trace", "", "write the run's trace to this file")
+	report := flag.Bool("report", false, "print a postmortem profile after the run")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 4 {
+		return fmt.Errorf("usage: dynprof [flags] <stdin> <stdout> <timefile> <target> [key=val ...]")
+	}
+	scriptPath, outPath, timefilePath, target := args[0], args[1], args[2], args[3]
+
+	app, err := apps.Get(target)
+	if err != nil {
+		return err
+	}
+	mach, err := pickMachine(*machName)
+	if err != nil {
+		return err
+	}
+	deck, err := parseDeck(args[4:])
+	if err != nil {
+		return err
+	}
+
+	var script io.Reader = os.Stdin
+	var scriptText string
+	if scriptPath != "-" {
+		b, err := os.ReadFile(scriptPath)
+		if err != nil {
+			return err
+		}
+		scriptText = string(b)
+		script = strings.NewReader(scriptText)
+	} else {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		scriptText = string(b)
+		script = strings.NewReader(scriptText)
+	}
+
+	out := io.Writer(os.Stdout)
+	if outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	files, err := loadScriptFiles(scriptText)
+	if err != nil {
+		return err
+	}
+
+	s := des.NewScheduler(*seed)
+	var ss *core.Session
+	var sessErr error
+	s.Spawn("dynprof", func(p *des.Proc) {
+		ss, sessErr = core.NewSession(p, core.Config{
+			Machine:   mach,
+			App:       app,
+			BuildOpts: guide.BuildOpts{TraceMPI: true, TraceOMP: true},
+			Procs:     *procs,
+			Args:      deck,
+			Output:    out,
+			Files:     files,
+		})
+		if sessErr != nil {
+			return
+		}
+		sessErr = ss.RunScript(p, script)
+	})
+	if err := s.Run(); err != nil {
+		return err
+	}
+	if sessErr != nil {
+		return sessErr
+	}
+
+	tf, err := os.Create(timefilePath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := ss.Timefile().Write(tf); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "dynprof: target finished; main computation %.4fs; create+instrument %.4fs\n",
+		ss.Job().MainElapsed().Seconds(), ss.CreateAndInstrumentTime().Seconds())
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ss.Job().Collector().WriteTrace(f); err != nil {
+			return err
+		}
+	}
+	if *report {
+		p := vgv.Analyze(ss.Job().Collector())
+		if err := p.WriteReport(out, 20); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pickMachine(name string) (*machine.Config, error) {
+	switch name {
+	case "ibm":
+		return machine.IBMPower3Cluster(), nil
+	case "ia32":
+		return machine.IA32LinuxCluster(), nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q (want ibm or ia32)", name)
+	}
+}
+
+// parseDeck parses key=val input-deck overrides.
+func parseDeck(kvs []string) (map[string]int, error) {
+	deck := make(map[string]int, len(kvs))
+	for _, kv := range kvs {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad input parameter %q (want key=val)", kv)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return nil, fmt.Errorf("bad input parameter %q: %v", kv, err)
+		}
+		deck[key] = n
+	}
+	return deck, nil
+}
+
+// loadScriptFiles preloads every file referenced by insert-file and
+// remove-file commands in the script.
+func loadScriptFiles(script string) (map[string]string, error) {
+	files := make(map[string]string)
+	for _, line := range strings.Split(script, "\n") {
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) < 2 {
+			continue
+		}
+		switch fields[0] {
+		case "insert-file", "if", "remove-file", "rf":
+			for _, name := range fields[1:] {
+				if _, done := files[name]; done {
+					continue
+				}
+				b, err := os.ReadFile(name)
+				if err != nil {
+					return nil, err
+				}
+				files[name] = string(b)
+			}
+		}
+	}
+	return files, nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseDeck(t *testing.T) {
+	deck, err := parseDeck([]string{"nx=12", "iters=4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck["nx"] != 12 || deck["iters"] != 4 {
+		t.Fatalf("deck = %v", deck)
+	}
+	for _, bad := range []string{"nx", "nx=abc", "=5"} {
+		if _, err := parseDeck([]string{bad}); err == nil && bad != "=5" {
+			t.Errorf("parseDeck(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPickMachine(t *testing.T) {
+	if m, err := pickMachine("ibm"); err != nil || m.CPUsPerNode != 8 {
+		t.Fatalf("ibm preset: %v %v", m, err)
+	}
+	if m, err := pickMachine("ia32"); err != nil || m.Nodes != 16 {
+		t.Fatalf("ia32 preset: %v %v", m, err)
+	}
+	if _, err := pickMachine("cray"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestLoadScriptFiles(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "subset.txt")
+	if err := os.WriteFile(sub, []byte("fn_a\nfn_b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files, err := loadScriptFiles("start\ninsert-file " + sub + "\nif " + sub + "\nquit\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files[sub] != "fn_a\nfn_b\n" {
+		t.Fatalf("files = %v", files)
+	}
+	if len(files) != 1 {
+		t.Fatalf("duplicate reference loaded twice: %v", files)
+	}
+	if _, err := loadScriptFiles("insert-file /no/such/file.txt"); err == nil {
+		t.Error("missing script file accepted")
+	}
+	// Plain commands reference no files.
+	files, err = loadScriptFiles("start\nwait 2\ninsert fn_a\nquit")
+	if err != nil || len(files) != 0 {
+		t.Fatalf("unexpected files %v, err %v", files, err)
+	}
+}

@@ -1,0 +1,135 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation from the simulation, printing the same rows/series the paper
+// reports.
+//
+//	experiments -all              # everything (several minutes)
+//	experiments -fig7a -fig9      # selected figures
+//	experiments -table2 -table3   # tables only
+//	experiments -fig7a -csv       # CSV output
+//	experiments -fig7a -max-cpus 8  # truncate the CPU sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dynprof/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		all     = flag.Bool("all", false, "run every table and figure")
+		table1  = flag.Bool("table1", false, "Table 1: dynprof commands")
+		table2  = flag.Bool("table2", false, "Table 2: the ASCI kernel applications")
+		table3  = flag.Bool("table3", false, "Table 3: the instrumentation policies")
+		fig7a   = flag.Bool("fig7a", false, "Figure 7(a): Smg98 execution times")
+		fig7b   = flag.Bool("fig7b", false, "Figure 7(b): Sppm execution times")
+		fig7c   = flag.Bool("fig7c", false, "Figure 7(c): Sweep3d execution times")
+		fig7d   = flag.Bool("fig7d", false, "Figure 7(d): Umt98 execution times")
+		fig8a   = flag.Bool("fig8a", false, "Figure 8(a): VT_confsync on IBM")
+		fig8b   = flag.Bool("fig8b", false, "Figure 8(b): statistics write on IBM")
+		fig8c   = flag.Bool("fig8c", false, "Figure 8(c): VT_confsync on IA32")
+		fig9    = flag.Bool("fig9", false, "Figure 9: time to create and instrument")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		maxCPUs = flag.Int("max-cpus", 0, "truncate CPU sweeps (0 = the paper's full range)")
+		seed    = flag.Uint64("seed", 2003, "simulation seed")
+	)
+	flag.Parse()
+
+	opts := exp.Options{Seed: *seed, MaxCPUs: *maxCPUs}
+	out := os.Stdout
+	any := false
+	emit := func(fig *exp.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		any = true
+		if *csv {
+			return fig.CSV(out)
+		}
+		if err := fig.Render(out); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(out)
+		return err
+	}
+	emitTable := func(f func(io.Writer) error) error {
+		any = true
+		if err := f(out); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(out)
+		return err
+	}
+
+	if *all || *table1 {
+		if err := emitTable(exp.RenderTable1); err != nil {
+			return err
+		}
+	}
+	if *all || *table2 {
+		if err := emitTable(exp.RenderTable2); err != nil {
+			return err
+		}
+	}
+	if *all || *table3 {
+		if err := emitTable(exp.RenderTable3); err != nil {
+			return err
+		}
+	}
+	figs := []struct {
+		on  bool
+		app string
+	}{
+		{*all || *fig7a, "smg98"},
+		{*all || *fig7b, "sppm"},
+		{*all || *fig7c, "sweep3d"},
+		{*all || *fig7d, "umt98"},
+	}
+	for _, f := range figs {
+		if !f.on {
+			continue
+		}
+		fig, err := exp.Fig7(f.app, opts)
+		if err := emit(fig, err); err != nil {
+			return err
+		}
+	}
+	if *all || *fig8a {
+		fig, err := exp.Fig8a(opts)
+		if err := emit(fig, err); err != nil {
+			return err
+		}
+	}
+	if *all || *fig8b {
+		fig, err := exp.Fig8b(opts)
+		if err := emit(fig, err); err != nil {
+			return err
+		}
+	}
+	if *all || *fig8c {
+		fig, err := exp.Fig8c(opts)
+		if err := emit(fig, err); err != nil {
+			return err
+		}
+	}
+	if *all || *fig9 {
+		fig, err := exp.Fig9(opts)
+		if err := emit(fig, err); err != nil {
+			return err
+		}
+	}
+	if !any {
+		flag.Usage()
+	}
+	return nil
+}

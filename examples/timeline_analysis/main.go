@@ -1,0 +1,47 @@
+// Timeline analysis: the Figure 4 scenario — a traced parallel run
+// rendered as the VGV time-line display, with MPI processes as horizontal
+// bars (sweep3d's pipelined wavefront is clearly visible) and the OpenMP
+// wiggle glyph for umt98's parallel regions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dynprof/internal/apps"
+	"dynprof/internal/des"
+	"dynprof/internal/exp"
+	"dynprof/internal/guide"
+	"dynprof/internal/machine"
+	"dynprof/internal/vgv"
+)
+
+func main() {
+	show("sweep3d", 8, map[string]int{"nx": 64, "ny": 12, "nz": 12, "iters": 1})
+	fmt.Println()
+	show("umt98", 4, map[string]int{"zones": 96, "angles": 12, "iters": 2})
+}
+
+func show(name string, procs int, args map[string]int) {
+	app, err := apps.Get(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin, err := guide.Build(app, exp.BuildOptsFor(app, exp.Subset))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := des.NewScheduler(5)
+	j, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: procs, Args: args})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s on %d CPUs (%d trace events) ===\n", name, procs, j.Collector().Len())
+	if err := vgv.RenderTimeline(j.Collector(), os.Stdout, 96); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module dynprof
+
+go 1.22

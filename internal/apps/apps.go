@@ -1,0 +1,50 @@
+// Package apps registers the four ASCI kernel applications of Table 2 and
+// provides lookup by name for the command-line tools.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"dynprof/internal/apps/smg98"
+	"dynprof/internal/apps/sppm"
+	"dynprof/internal/apps/sweep3d"
+	"dynprof/internal/apps/umt98"
+	"dynprof/internal/guide"
+)
+
+// Description pairs an application with Table 2's description text.
+type Description struct {
+	App  *guide.App
+	Text string
+}
+
+// Registry returns the ASCI kernel applications keyed by name.
+func Registry() map[string]Description {
+	return map[string]Description{
+		"smg98":   {App: smg98.App(), Text: "A multigrid solver"},
+		"sppm":    {App: sppm.App(), Text: "A 3D gas dynamics problem"},
+		"sweep3d": {App: sweep3d.App(), Text: "A neutron transport problem"},
+		"umt98":   {App: umt98.App(), Text: "The Boltzmann transport equation"},
+	}
+}
+
+// Get looks an application up by name.
+func Get(name string) (*guide.App, error) {
+	d, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown application %q (have %v)", name, Names())
+	}
+	return d.App, nil
+}
+
+// Names lists the registered application names, sorted.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

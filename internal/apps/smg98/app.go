@@ -1,0 +1,167 @@
+package smg98
+
+import (
+	"dynprof/internal/guide"
+	"dynprof/internal/mpi"
+)
+
+// kernel is the per-rank benchmark state.
+type kernel struct {
+	c    *guide.Ctx
+	m    *mpi.Ctx
+	rank int
+	size int
+}
+
+// call routes a function invocation through the instrumentation call gate.
+func (k *kernel) call(name string, fn func()) { k.c.Call(name, fn) }
+
+// work charges application cycles to the rank's virtual clock.
+func (k *kernel) work(cycles int64) { k.c.T.Work(cycles) }
+
+// fn builds a table entry; exits defaults to 1.
+func fn(name string, size int) guide.Func { return guide.Func{Name: name, Size: size} }
+
+// funcTable is Smg98's 199-function table ("Smg98 contains 199
+// functions"), grouped by module. Sizes are image words (code extent).
+func funcTable() []guide.Func {
+	return []guide.Func{
+		// box / index utilities
+		fn("smg_IndexCopy", 6), fn("smg_IndexAdd", 8), fn("smg_IndexShift", 7),
+		fn("smg_IndexMin", 10), fn("smg_IndexMax", 10), fn("smg_IndexEqual", 8),
+		fn("smg_BoxCreate", 8), fn("smg_BoxVolume", 12), fn("smg_BoxNumPlanes", 7),
+		fn("smg_BoxGrow", 10), fn("smg_BoxShrink", 10), fn("smg_BoxShiftPos", 8),
+		fn("smg_BoxShiftNeg", 8), fn("smg_BoxIntersect", 16), fn("smg_BoxContains", 10),
+		fn("smg_BoxPlane", 8), fn("smg_BoxCoarsenZ", 9), fn("smg_BoxRefineZ", 9),
+		fn("smg_BoxCheck", 8),
+		// vector module
+		fn("smg_VectorCreate", 20), fn("smg_VectorInitialize", 12), fn("smg_VectorSetConstant", 14),
+		fn("smg_VectorCopy", 10), fn("smg_VectorClear", 10), fn("smg_VectorScale", 12),
+		fn("smg_VectorAxpy", 14), fn("smg_VectorLocalDot", 16), fn("smg_VectorInnerProd", 12),
+		fn("smg_VectorLocalMaxAbs", 14), fn("smg_VectorMaxAbs", 10), fn("smg_VectorPlaneCopy", 12),
+		fn("smg_VectorPlaneClear", 10), fn("smg_VectorPlaneAxpy", 14), fn("smg_VectorPlaneDot", 14),
+		fn("smg_VectorGhostClear", 12), fn("smg_VectorSetSeeded", 18), fn("smg_VectorVolume", 6),
+		fn("smg_VectorCheckFinite", 12), fn("smg_VectorNorm", 10),
+		// stencil module
+		fn("smg_StencilCreate", 10), fn("smg_StencilSize", 5), fn("smg_StencilOffset", 9),
+		fn("smg_StencilCoeffCenter", 5), fn("smg_StencilCoeffXY", 5), fn("smg_StencilCoeffZ", 5),
+		fn("smg_StencilDiagonal", 5), fn("smg_StencilCoarsenZ", 14), fn("smg_StencilApplyPlane", 30),
+		fn("smg_StencilCheck", 8),
+		// communication module
+		fn("smg_NeighborRank", 7), fn("smg_CommPlaneBytes", 6), fn("smg_CommPkgCreate", 18),
+		fn("smg_CommPkgDestroy", 8), fn("smg_PackPlaneLow", 14), fn("smg_PackPlaneHigh", 14),
+		fn("smg_UnpackPlaneLow", 14), fn("smg_UnpackPlaneHigh", 14), fn("smg_PostRecvLow", 10),
+		fn("smg_PostRecvHigh", 10), fn("smg_SendPlaneLow", 10), fn("smg_SendPlaneHigh", 10),
+		fn("smg_WaitRecvLow", 10), fn("smg_WaitRecvHigh", 10), fn("smg_CommHandleCreate", 10),
+		fn("smg_CommHandleFinalize", 10), fn("smg_ExchangeBegin", 12), fn("smg_ExchangeEnd", 10),
+		fn("smg_ExchangeGhost", 10), fn("smg_GlobalSum", 8), fn("smg_GlobalMax", 8),
+		// grid / setup module
+		fn("smg_GridCreate", 16), fn("smg_GridLocalExtents", 6), fn("smg_GridGlobalSize", 7),
+		fn("smg_GridVolume", 6), fn("smg_GridPlaneSize", 6), fn("smg_GridCoarsenZ", 12), fn("smg_GridNumLevels", 10),
+		fn("smg_GridCheck", 8), fn("smg_LevelCreate", 14), fn("smg_LevelVectorsCreate", 16),
+		fn("smg_LevelCommCreate", 10), fn("smg_LevelDestroy", 10), fn("smg_SetupStencils", 14),
+		fn("smg_InterpWeightAt", 6), fn("smg_RestrictWeightAt", 6), fn("smg_SetupInterp", 8),
+		fn("smg_SetupRestrict", 8), fn("smg_SetupRAP", 12), fn("smg_SetupRHS", 10),
+		fn("smg_SetupInitialGuess", 10), fn("smg_SetupWorkspace", 8), fn("smg_SetupBoundary", 10),
+		fn("smg_PartitionGrid", 12), fn("smg_ValidatePartition", 14), fn("smg_DataSize", 8),
+		fn("smg_MemoryEstimate", 6), fn("smg_HierarchyCreate", 24), fn("smg_InitCoefficients", 10),
+		fn("smg_CheckSetup", 12), fn("smg_FinalizeSetup", 8), fn("smg_ProblemSetup", 18),
+		fn("smg_ProblemDestroy", 8),
+		// matrix module
+		fn("smg_MatrixCreate", 12), fn("smg_MatrixInitialize", 8), fn("smg_MatrixSetConstantEntries", 10),
+		fn("smg_MatrixSetBoundary", 8), fn("smg_MatrixAssemble", 12), fn("smg_MatrixGrid", 5),
+		fn("smg_MatrixStencil", 5), fn("smg_MatrixNumGhost", 5), fn("smg_MatrixVolume", 7),
+		fn("smg_MatrixEntryCount", 6), fn("smg_MatrixDiagonal", 6), fn("smg_MatrixApplyPlane", 10),
+		fn("smg_MatrixRowSumPlane", 10), fn("smg_MatrixSymmetryCheck", 10), fn("smg_MatrixFrobeniusLocal", 12),
+		fn("smg_MatrixFrobenius", 8), fn("smg_MatrixConditionEstimate", 10), fn("smg_MatrixScale", 8),
+		fn("smg_MatrixCopy", 10), fn("smg_MatrixCoarsen", 12), fn("smg_MatrixDestroy", 6),
+		fn("smg_MatrixCheck", 12),
+		// solver module (the paper's "multigrid solver" subset lives here
+		// plus the hot communication/vector/stencil routines above)
+		fn("smg_RelaxWeight", 6), fn("smg_PlaneBoxAt", 9), fn("smg_PlaneOffsets", 10),
+		fn("smg_PlaneCoeffs", 9), fn("smg_RelaxPlaneInterior", 34), fn("smg_RelaxPlaneBoundary", 26),
+		fn("smg_UpdateSolutionPlane", 8), fn("smg_ApplyBCPlane", 12), fn("smg_RelaxPlane", 14),
+		fn("smg_RelaxSweep", 12), fn("smg_Relax", 8), fn("smg_PreRelax", 6), fn("smg_PostRelax", 6),
+		fn("smg_ResidualPlane", 18), fn("smg_Residual", 10), fn("smg_ResidualNorm", 8),
+		fn("smg_ZeroCoarse", 6), fn("smg_RestrictPlane", 22), fn("smg_Restrict", 10),
+		fn("smg_InterpPlaneEven", 16), fn("smg_InterpPlaneOdd", 18), fn("smg_InterpAdd", 10),
+		fn("smg_CoarseSolve", 10), fn("smg_LevelDown", 8), fn("smg_LevelUp", 8),
+		fn("smg_CycleDown", 8), fn("smg_CycleUp", 8), fn("smg_VCycle", 8),
+		fn("smg_ConvergenceCheck", 8), fn("smg_IterationUpdate", 5), fn("smg_LogIteration", 8),
+		fn("smg_ErrorEstimate", 10), fn("smg_Solve", 16),
+		// driver module
+		fn("smg_TimerCreate", 8), fn("smg_WallClock", 5), fn("smg_TimerStart", 6),
+		fn("smg_TimerStop", 7), fn("smg_TimerReset", 5), fn("smg_TimerElapsed", 5),
+		fn("smg_TimerMax", 7), fn("smg_TimerReport", 10), fn("smg_DefaultParams", 8),
+		fn("smg_ArgLookup", 6), fn("smg_ParseDim", 8), fn("smg_ParseIters", 6),
+		fn("smg_ParseTol", 7), fn("smg_CheckParams", 8), fn("smg_InputSummary", 10),
+		fn("smg_ReadInput", 10), fn("smg_LogCreate", 6), fn("smg_LogAppend", 7),
+		fn("smg_LogBanner", 8), fn("smg_LogResidual", 8), fn("smg_LogFlush", 7),
+		fn("smg_LogClose", 5), fn("smg_StatsInit", 6), fn("smg_StatsConvFactor", 9),
+		fn("smg_StatsAvgConvFactor", 9), fn("smg_StatsFinalize", 8), fn("smg_ReportMemory", 8),
+		fn("smg_ReportComm", 10), fn("smg_ReportTimers", 8), fn("smg_RunHeader", 7),
+		fn("smg_FinalReport", 8), fn("smg_SyncRanks", 6), fn("smg_RandSeed", 6),
+		fn("smg_ProcTopology", 7), fn("smg_LoadBalanceCheck", 9), fn("smg_FlopsEstimate", 8),
+		fn("smg_IterationBudget", 5), fn("smg_VersionString", 5), fn("smg_ExitCheck", 8),
+		fn("smg_DriverMain", 20), fn("smg_CommVolume", 8), fn("smg_NormHistoryRatio", 8),
+	}
+}
+
+// subset is the 62-function solver subset "responsible for implementing
+// the multigrid solver" used by the Subset and Dynamic policies. These
+// are the driver-level SMG routines — cycle control, per-level sweeps,
+// transfer operators, solver setup and the reductions they depend on —
+// which are invoked at per-level, per-cycle rates. The per-plane compute
+// kernels and box/index utilities (the other 137 functions) carry the
+// enormous call volume that makes the Full and Full-Off policies so
+// expensive; instrumenting only this subset records little and, under
+// Dynamic, leaves the hot paths completely unpatched.
+func subset() []string {
+	return []string{
+		// cycle and sweep control (20)
+		"smg_Solve", "smg_VCycle", "smg_CycleDown", "smg_CycleUp",
+		"smg_LevelDown", "smg_LevelUp", "smg_CoarseSolve",
+		"smg_Relax", "smg_RelaxSweep", "smg_PreRelax", "smg_PostRelax",
+		"smg_Residual", "smg_ResidualNorm", "smg_Restrict", "smg_InterpAdd", "smg_ZeroCoarse",
+		"smg_ConvergenceCheck", "smg_IterationUpdate", "smg_LogIteration", "smg_ErrorEstimate",
+		// solver operator derivation (4)
+		"smg_StencilCreate", "smg_StencilCheck", "smg_StencilCoarsenZ", "smg_DataSize",
+		// solver setup (24)
+		"smg_ProblemSetup", "smg_HierarchyCreate", "smg_LevelCreate",
+		"smg_LevelVectorsCreate", "smg_LevelCommCreate", "smg_LevelDestroy",
+		"smg_SetupStencils", "smg_SetupInterp", "smg_SetupRestrict", "smg_SetupRAP",
+		"smg_SetupRHS", "smg_SetupInitialGuess", "smg_SetupWorkspace", "smg_SetupBoundary",
+		"smg_InitCoefficients", "smg_CheckSetup", "smg_FinalizeSetup", "smg_ProblemDestroy",
+		"smg_PartitionGrid", "smg_ValidatePartition", "smg_GridCreate",
+		"smg_GridCoarsenZ", "smg_GridNumLevels", "smg_GridCheck",
+		// solver reductions and checks (6)
+		"smg_VectorNorm", "smg_VectorInnerProd", "smg_VectorLocalDot",
+		"smg_VectorMaxAbs", "smg_VectorLocalMaxAbs", "smg_VectorCheckFinite",
+		// operator construction (8)
+		"smg_MatrixCoarsen", "smg_MatrixCheck", "smg_MatrixFrobenius",
+		"smg_MatrixConditionEstimate", "smg_MatrixCopy", "smg_MatrixScale",
+		"smg_MatrixDestroy", "smg_MemoryEstimate",
+	}
+}
+
+// App returns the Smg98 application definition. The input deck fixes the
+// per-rank grid, so the global problem grows with the rank count (weak
+// scaling): "the input to Smg98 sets the size of the data for each MPI
+// process".
+func App() *guide.App {
+	return &guide.App{
+		Name:   "smg98",
+		Lang:   guide.MPIC,
+		Funcs:  funcTable(),
+		Subset: subset(),
+		DefaultArgs: map[string]int{
+			"nx": 18, "ny": 18, "nz": 32, "iters": 6, "tolexp": 9,
+		},
+		Main: func(c *guide.Ctx) {
+			c.MPI.Init()
+			k := &kernel{c: c, m: c.MPI, rank: c.MPI.Rank(), size: c.MPI.Size()}
+			k.driverMain()
+			c.MPI.Finalize()
+		},
+	}
+}

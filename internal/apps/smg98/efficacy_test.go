@@ -1,0 +1,62 @@
+package smg98
+
+import (
+	"testing"
+
+	"dynprof/internal/des"
+	"dynprof/internal/guide"
+	"dynprof/internal/machine"
+)
+
+// TestVCyclesBeatPlainSmoothing checks the multigrid is a multigrid: for
+// the same number of fine-grid relaxation sweeps, V-cycles must reduce
+// the residual more than plain damped-Jacobi on the finest level alone,
+// because the semicoarsened grids remove the z-smooth error components
+// the smoother stalls on.
+func TestVCyclesBeatPlainSmoothing(t *testing.T) {
+	run := func(vcycles bool) (ratio float64) {
+		app := App()
+		app.Main = func(c *guide.Ctx) {
+			c.MPI.Init()
+			k := &kernel{c: c, m: c.MPI, rank: c.MPI.Rank(), size: c.MPI.Size()}
+			levels := k.problemSetup(8, 8, 16)
+			fine := levels[0]
+			initial := k.residualNorm(fine)
+			if vcycles {
+				for it := 0; it < 3; it++ {
+					k.vCycle(levels)
+				}
+			} else {
+				// Each V-cycle performs exactly 2 fine-level sweeps
+				// (pre + post), so 3 cycles = 6 fine sweeps.
+				k.relax(fine, 6)
+			}
+			final := k.residualNorm(fine)
+			if c.MPI.Rank() == 0 {
+				ratio = final / initial
+			}
+			k.problemDestroy(levels)
+			c.MPI.Finalize()
+		}
+		bin, err := guide.Build(app, guide.BuildOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := des.NewScheduler(61)
+		if _, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ratio
+	}
+	mg := run(true)
+	jacobi := run(false)
+	if mg <= 0 || jacobi <= 0 {
+		t.Fatalf("ratios: mg=%v jacobi=%v", mg, jacobi)
+	}
+	if !(mg < jacobi*0.8) {
+		t.Fatalf("V-cycles (residual ratio %.4f) should beat plain smoothing (%.4f)", mg, jacobi)
+	}
+}

@@ -1,0 +1,97 @@
+package smg98
+
+// Stencil is the 7-point operator of one multigrid level: a center
+// coefficient, an xy-plane coupling and a z coupling (the semicoarsened
+// dimension's coupling weakens level by level).
+type Stencil struct {
+	center float64
+	cxy    float64
+	cz     float64
+}
+
+func (k *kernel) stencilCreate(center, cxy, cz float64) (st *Stencil) {
+	k.call("smg_StencilCreate", func() {
+		st = &Stencil{center: center, cxy: cxy, cz: cz}
+		k.work(48)
+	})
+	return
+}
+
+func (k *kernel) stencilSize(st *Stencil) (n int) {
+	k.call("smg_StencilSize", func() { n = 7; k.work(18) })
+	return
+}
+
+// stencilOffset returns the grid offset of stencil entry e.
+func (k *kernel) stencilOffset(e int) (off Index) {
+	k.call("smg_StencilOffset", func() {
+		offsets := [7]Index{
+			{0, 0, 0}, {-1, 0, 0}, {1, 0, 0},
+			{0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1},
+		}
+		off = offsets[e%7]
+		k.work(26)
+	})
+	return
+}
+
+func (k *kernel) stencilCoeffCenter(st *Stencil) (c float64) {
+	k.call("smg_StencilCoeffCenter", func() { c = st.center; k.work(18) })
+	return
+}
+
+func (k *kernel) stencilCoeffXY(st *Stencil) (c float64) {
+	k.call("smg_StencilCoeffXY", func() { c = st.cxy; k.work(18) })
+	return
+}
+
+func (k *kernel) stencilCoeffZ(st *Stencil) (c float64) {
+	k.call("smg_StencilCoeffZ", func() { c = st.cz; k.work(18) })
+	return
+}
+
+func (k *kernel) stencilDiagonal(st *Stencil) (d float64) {
+	k.call("smg_StencilDiagonal", func() { d = st.center; k.work(20) })
+	return
+}
+
+// stencilCoarsenZ derives the coarse-level operator from a fine one — the
+// semicoarsening analogue of the Galerkin product: z coupling halves,
+// center rebalances.
+func (k *kernel) stencilCoarsenZ(st *Stencil) (out *Stencil) {
+	k.call("smg_StencilCoarsenZ", func() {
+		cz := st.cz / 2
+		out = &Stencil{
+			center: -(4*st.cxy + 2*cz),
+			cxy:    st.cxy,
+			cz:     cz,
+		}
+		k.work(64)
+	})
+	return
+}
+
+// stencilApplyPlane computes out(plane kz) = A x restricted to plane kz.
+func (k *kernel) stencilApplyPlane(st *Stencil, out, x *Vector, kz int) {
+	k.call("smg_StencilApplyPlane", func() {
+		for j := 0; j < x.ny; j++ {
+			ob := out.off(0, j, kz)
+			for i := 0; i < x.nx; i++ {
+				out.data[ob+i] = st.center*x.At(i, j, kz) +
+					st.cxy*(x.At(i-1, j, kz)+x.At(i+1, j, kz)+
+						x.At(i, j-1, kz)+x.At(i, j+1, kz)) +
+					st.cz*(x.At(i, j, kz-1)+x.At(i, j, kz+1))
+			}
+		}
+		k.work(int64(11 * x.nx * x.ny))
+	})
+}
+
+// stencilCheck validates operator sanity (diagonal dominance sign).
+func (k *kernel) stencilCheck(st *Stencil) (ok bool) {
+	k.call("smg_StencilCheck", func() {
+		ok = st.center < 0 && st.cxy > 0 && st.cz >= 0
+		k.work(26)
+	})
+	return
+}

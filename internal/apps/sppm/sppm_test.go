@@ -1,0 +1,176 @@
+package sppm
+
+import (
+	"math"
+	"testing"
+
+	"dynprof/internal/des"
+	"dynprof/internal/guide"
+	"dynprof/internal/machine"
+)
+
+func TestFunctionInventoryMatchesPaper(t *testing.T) {
+	app := App()
+	if got := len(app.Funcs); got != 22 {
+		t.Fatalf("Sppm has %d functions, the paper says 22", got)
+	}
+	if got := len(app.Subset); got != 7 {
+		t.Fatalf("Sppm subset has %d functions, the paper says 7", got)
+	}
+	if app.Lang != guide.MPIF77 {
+		t.Fatalf("Sppm must be MPI/F77 (Table 2), got %v", app.Lang)
+	}
+	names := make(map[string]bool)
+	for _, f := range app.Funcs {
+		names[f.Name] = true
+	}
+	for _, s := range app.Subset {
+		if !names[s] {
+			t.Fatalf("subset function %q not in table", s)
+		}
+	}
+}
+
+func run(t *testing.T, opts guide.BuildOpts, procs int, args map[string]int) *guide.Job {
+	t.Helper()
+	bin, err := guide.Build(App(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := des.NewScheduler(37)
+	j, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: procs, Args: args})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+var tinyArgs = map[string]int{"nx": 6, "ny": 6, "nz": 6, "steps": 4}
+
+func TestEveryDeclaredFunctionIsCalled(t *testing.T) {
+	j := run(t, guide.BuildOpts{StaticInstrument: true}, 2, tinyArgs)
+	var missing []string
+	for _, f := range App().Funcs {
+		called := false
+		for r := 0; r < 2; r++ {
+			v := j.VT(r)
+			if v.Calls(v.FuncDef(f.Name)) > 0 {
+				called = true
+				break
+			}
+		}
+		if !called {
+			missing = append(missing, f.Name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("functions never called: %v", missing)
+	}
+}
+
+// TestHydroConservesMass drives the solver directly and verifies the
+// dimension-split scheme approximately conserves mass with reflecting
+// boundaries, and keeps the state positive and finite.
+func TestHydroConservesMass(t *testing.T) {
+	app := App()
+	var mass0, mass1 float64
+	app.Main = func(c *guide.Ctx) {
+		c.MPI.Init()
+		k := &kernel{c: c, m: c.MPI, rank: c.MPI.Rank(), size: c.MPI.Size()}
+		k.initHydro(6, 6, 6)
+		m0, _ := k.globalDiagnostics()
+		for s := 0; s < 5; s++ {
+			k.stepDriver()
+		}
+		m1, _ := k.globalDiagnostics()
+		if c.MPI.Rank() == 0 {
+			mass0, mass1 = m0, m1
+		}
+		c.MPI.Finalize()
+	}
+	bin, err := guide.Build(app, guide.BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := des.NewScheduler(37)
+	if _, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mass0 == 0 {
+		t.Fatal("no initial mass")
+	}
+	if rel := math.Abs(mass1-mass0) / mass0; rel > 0.02 {
+		t.Fatalf("mass drifted %.2f%% over 5 steps", 100*rel)
+	}
+}
+
+func TestShockSpreadsAcrossRanks(t *testing.T) {
+	// After enough steps the central overdensity must have propagated
+	// into the outer ranks' zones (the z-exchange actually works).
+	app := App()
+	var outerMax float64
+	app.Main = func(c *guide.Ctx) {
+		c.MPI.Init()
+		k := &kernel{c: c, m: c.MPI, rank: c.MPI.Rank(), size: c.MPI.Size()}
+		k.initHydro(6, 6, 4) // rank 0 owns z 0..3 of 16: far from the center
+		for s := 0; s < 12; s++ {
+			k.stepDriver()
+		}
+		if k.rank == 0 {
+			for j := 0; j < 6; j++ {
+				for i := 0; i < 6; i++ {
+					v := math.Abs(k.st.mz[k.st.idx(i, j, 3)])
+					if v > outerMax {
+						outerMax = v
+					}
+				}
+			}
+		}
+		c.MPI.Finalize()
+	}
+	bin, err := guide.Build(app, guide.BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := des.NewScheduler(37)
+	if _, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if outerMax == 0 {
+		t.Fatal("no momentum reached the outer rank: ghost exchange broken?")
+	}
+}
+
+func TestWeakScaling(t *testing.T) {
+	e2 := run(t, guide.BuildOpts{}, 2, tinyArgs).MainElapsed()
+	e8 := run(t, guide.BuildOpts{}, 8, tinyArgs).MainElapsed()
+	if !(e8 > e2) {
+		t.Fatalf("weak scaling broken: %v at 2 ranks, %v at 8", e2, e8)
+	}
+}
+
+func TestFullOverheadModerate(t *testing.T) {
+	// At the production grid size (not the tiny test deck), Sppm's large
+	// functions keep the instrumentation overhead moderate.
+	args := map[string]int{"nx": 12, "ny": 12, "nz": 12, "steps": 3}
+	none := run(t, guide.BuildOpts{}, 2, args).MainElapsed()
+	full := run(t, guide.BuildOpts{StaticInstrument: true}, 2, args).MainElapsed()
+	ratio := float64(full) / float64(none)
+	// "As with Smg98, the Full version shows a larger execution time...
+	// although the difference is not as extreme."
+	if ratio < 1.1 {
+		t.Fatalf("Full/None = %.2f: instrumentation should be visible", ratio)
+	}
+	if ratio > 4 {
+		t.Fatalf("Full/None = %.2f: Sppm's few large functions should not be crushed", ratio)
+	}
+}

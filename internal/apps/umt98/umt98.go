@@ -1,0 +1,655 @@
+// Package umt98 reimplements the Umt98 ASCI kernel benchmark: an
+// unstructured-mesh, deterministic (S_n) solver for the Boltzmann
+// transport equation, threaded with OpenMP. "Umt98 contains 44 functions,
+// most of which perform initialization. The 6 functions that are
+// responsible for most of the functionality and a majority of the
+// execution time were selected for Subset and Dynamic."
+//
+// Being OpenMP, it runs as a single process on one SMP node (1–8 threads
+// in the paper); its input fixes the global problem, so time falls as
+// threads are added (strong scaling), and there is only one image for a
+// dynamic instrumenter to patch (the flat Umt98 line of Figure 9).
+package umt98
+
+import (
+	"fmt"
+	"math"
+
+	"dynprof/internal/guide"
+	"dynprof/internal/omp"
+	"dynprof/internal/proc"
+)
+
+// zone is one unstructured mesh cell: a small polyhedron with neighbour
+// links (an index of -1 is a boundary face).
+type zone struct {
+	volume   float64
+	centroid [3]float64
+	faces    []int     // neighbour zone ids
+	areas    []float64 // face areas
+	material int
+}
+
+// direction is one discrete ordinate.
+type direction struct {
+	omega [3]float64
+	w     float64
+}
+
+type mesh struct {
+	zones    []zone
+	order    []int // sweep order (one deterministic ordering per run)
+	boundary int   // boundary face count
+}
+
+type kernel struct {
+	c  *guide.Ctx
+	rt *omp.Runtime
+
+	msh    *mesh
+	angles []direction
+	sigT   []float64 // per-material total cross section
+	sigS   []float64
+	src    []float64 // per-zone external source
+
+	phi    []float64 // scalar flux
+	phiOld []float64
+	phiT   [][]float64 // per-thread accumulation buffers
+
+	blocks int // zone-block granularity of the hot functions
+}
+
+// call routes through the master thread's gate; calls inside parallel
+// regions use tcall with the executing team thread.
+func (k *kernel) call(name string, fn func())                  { k.c.T.Call(name, fn) }
+func (k *kernel) tcall(t *proc.Thread, name string, fn func()) { t.Call(name, fn) }
+func (k *kernel) work(cycles int64)                            { k.c.T.Work(cycles) }
+
+// --- input deck ---------------------------------------------------------
+
+func (k *kernel) parseArgs() (zones, angles, iters int) {
+	k.call("umt_ParseArgs", func() {
+		zones = k.c.Arg("zones", 320)
+		angles = k.c.Arg("angles", 24)
+		iters = k.c.Arg("iters", 4)
+		k.work(2_000)
+	})
+	return
+}
+
+func (k *kernel) checkDeck(zones, angles, iters int) {
+	k.call("umt_CheckDeck", func() {
+		if zones < 16 || angles < 8 || iters < 1 {
+			panic(fmt.Sprintf("umt98: bad deck: zones=%d angles=%d iters=%d", zones, angles, iters))
+		}
+		k.work(800)
+	})
+}
+
+func (k *kernel) inputDeck() (zones, angles, iters int) {
+	k.call("umt_InputDeck", func() {
+		zones, angles, iters = k.parseArgs()
+		k.checkDeck(zones, angles, iters)
+	})
+	return
+}
+
+// --- mesh generation (the bulk of the 44 functions) ---------------------
+
+// meshGen builds a deterministic pseudo-unstructured mesh: a jittered
+// lattice of polyhedral zones with 4-8 faces each.
+func (k *kernel) meshGen(n int) {
+	k.call("umt_MeshGen", func() {
+		k.msh = &mesh{zones: make([]zone, n)}
+		k.meshNodes(n)
+		k.meshZones(n)
+		k.buildAdjacency()
+		k.faceAreas()
+		k.boundaryFaces()
+		k.meshValidate()
+	})
+}
+
+// meshNodes lays out jittered node positions (zone centroids derive from
+// them).
+func (k *kernel) meshNodes(n int) {
+	k.call("umt_MeshNodes", func() {
+		state := uint64(12345)
+		for i := range k.msh.zones {
+			z := &k.msh.zones[i]
+			for d := 0; d < 3; d++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				jitter := float64(state>>40)/(1<<24) - 0.5
+				z.centroid[d] = float64(i%8) + 0.3*jitter
+			}
+		}
+		k.work(int64(12 * n))
+	})
+}
+
+// meshZones assigns volumes and materials.
+func (k *kernel) meshZones(n int) {
+	k.call("umt_MeshZones", func() {
+		for i := range k.msh.zones {
+			z := &k.msh.zones[i]
+			z.volume = k.zoneVolume(i)
+			z.material = k.materialAssign(i)
+		}
+		k.work(int64(4 * n))
+	})
+}
+
+func (k *kernel) zoneVolume(i int) (v float64) {
+	k.call("umt_ZoneVolume", func() {
+		v = 1.0 + 0.25*math.Sin(float64(i)*0.7)
+		k.work(60)
+	})
+	return
+}
+
+func (k *kernel) zoneCentroid(i int) (c [3]float64) {
+	k.call("umt_ZoneCentroid", func() {
+		c = k.msh.zones[i].centroid
+		k.work(30)
+	})
+	return
+}
+
+func (k *kernel) materialAssign(i int) (m int) {
+	k.call("umt_MaterialAssign", func() {
+		m = 0
+		if i%5 == 0 {
+			m = 1
+		}
+		k.work(26)
+	})
+	return
+}
+
+// buildAdjacency links each zone to 4-8 pseudo-random neighbours with a
+// bias toward nearby ids (an unstructured connectivity pattern).
+func (k *kernel) buildAdjacency() {
+	k.call("umt_BuildAdjacency", func() {
+		n := len(k.msh.zones)
+		state := uint64(777)
+		for i := range k.msh.zones {
+			z := &k.msh.zones[i]
+			nf := 4 + i%5
+			z.faces = make([]int, nf)
+			for f := 0; f < nf; f++ {
+				state = state*2862933555777941757 + 3037000493
+				off := int(state%17) - 8
+				nb := i + off
+				if nb < 0 || nb >= n || nb == i {
+					nb = -1 // boundary face
+				}
+				z.faces[f] = nb
+			}
+		}
+		k.work(int64(20 * n))
+	})
+}
+
+func (k *kernel) faceAreas() {
+	k.call("umt_FaceAreas", func() {
+		for i := range k.msh.zones {
+			z := &k.msh.zones[i]
+			z.areas = make([]float64, len(z.faces))
+			for f := range z.areas {
+				z.areas[f] = 0.5 + 0.1*math.Cos(float64(i+f))
+			}
+		}
+		k.work(int64(8 * len(k.msh.zones)))
+	})
+}
+
+func (k *kernel) boundaryFaces() {
+	k.call("umt_BoundaryFaces", func() {
+		count := 0
+		for i := range k.msh.zones {
+			for _, nb := range k.msh.zones[i].faces {
+				if nb < 0 {
+					count++
+				}
+			}
+		}
+		k.msh.boundary = count
+		k.work(int64(3 * len(k.msh.zones)))
+	})
+}
+
+func (k *kernel) meshValidate() {
+	k.call("umt_MeshValidate", func() {
+		for i := range k.msh.zones {
+			z := &k.msh.zones[i]
+			if z.volume <= 0 || len(z.faces) < 4 {
+				panic(fmt.Sprintf("umt98: degenerate zone %d", i))
+			}
+			if len(z.faces) != len(z.areas) {
+				panic(fmt.Sprintf("umt98: zone %d faces/areas mismatch", i))
+			}
+		}
+		k.work(int64(2 * len(k.msh.zones)))
+	})
+}
+
+// reorderZones builds the sweep ordering (ascending projected centroid —
+// a stand-in for the real topological sort per ordinate).
+func (k *kernel) reorderZones() {
+	k.call("umt_ReorderZones", func() {
+		n := len(k.msh.zones)
+		k.msh.order = make([]int, n)
+		for i := range k.msh.order {
+			k.msh.order[i] = i
+		}
+		// Deterministic shuffle keyed by centroid projection.
+		for i := n - 1; i > 0; i-- {
+			c := k.msh.zones[i].centroid
+			j := int(math.Abs(c[0]+2*c[1]+3*c[2])*1000) % (i + 1)
+			k.msh.order[i], k.msh.order[j] = k.msh.order[j], k.msh.order[i]
+		}
+		k.work(int64(12 * n))
+	})
+}
+
+func (k *kernel) sweepOrder() (order []int) {
+	k.call("umt_SweepOrder", func() {
+		order = k.msh.order
+		k.work(40)
+	})
+	return
+}
+
+func (k *kernel) meshStats() (zones, faces int) {
+	k.call("umt_MeshStats", func() {
+		zones = len(k.msh.zones)
+		for i := range k.msh.zones {
+			faces += len(k.msh.zones[i].faces)
+		}
+		k.work(int64(zones))
+	})
+	return
+}
+
+// --- angle sets and material data ---------------------------------------
+
+func (k *kernel) angleSetInit(n int) {
+	k.call("umt_AngleSetInit", func() {
+		k.angles = make([]direction, n)
+		for a := range k.angles {
+			theta := math.Pi * (float64(a) + 0.5) / float64(n)
+			phi := 2 * math.Pi * float64(a*7%n) / float64(n)
+			k.angles[a].omega = [3]float64{
+				math.Sin(theta) * math.Cos(phi),
+				math.Sin(theta) * math.Sin(phi),
+				math.Cos(theta),
+			}
+		}
+		k.angleWeights()
+		k.work(int64(20 * n))
+	})
+}
+
+func (k *kernel) angleWeights() {
+	k.call("umt_AngleWeights", func() {
+		w := 1.0 / float64(len(k.angles))
+		for a := range k.angles {
+			k.angles[a].w = w
+		}
+		k.work(int64(2 * len(k.angles)))
+	})
+}
+
+func (k *kernel) crossSections() {
+	k.call("umt_CrossSections", func() {
+		k.sigT = []float64{1.0, 2.5}
+		k.sigS = []float64{0.5, 0.9}
+		k.work(400)
+	})
+}
+
+func (k *kernel) sourceInit() {
+	k.call("umt_SourceInit", func() {
+		k.src = make([]float64, len(k.msh.zones))
+		for i := range k.src {
+			k.src[i] = 1.0
+			if k.msh.zones[i].material == 1 {
+				k.src[i] = 3.0
+			}
+		}
+		k.work(int64(2 * len(k.src)))
+	})
+}
+
+func (k *kernel) fluxAlloc() {
+	k.call("umt_FluxAlloc", func() {
+		n := len(k.msh.zones)
+		k.phi = make([]float64, n)
+		k.phiOld = make([]float64, n)
+		k.work(int64(n / 2))
+	})
+}
+
+func (k *kernel) scratchAlloc() {
+	k.call("umt_ScratchAlloc", func() {
+		k.phiT = make([][]float64, k.rt.NumThreads())
+		for t := range k.phiT {
+			k.phiT[t] = make([]float64, len(k.msh.zones))
+		}
+		k.work(int64(len(k.msh.zones)))
+	})
+}
+
+func (k *kernel) threadSetup() {
+	k.call("umt_ThreadSetup", func() {
+		k.blocks = 4
+		k.logLine(fmt.Sprintf("team of %d threads", k.rt.NumThreads()))
+		k.work(600)
+	})
+}
+
+// --- the six hot functions ----------------------------------------------
+
+// faceFlux gathers upstream angular flux into a block of zones. Hot.
+func (k *kernel) faceFlux(t *proc.Thread, psi []float64, lo, hi int, d direction) (in []float64) {
+	k.tcall(t, "umt_FaceFlux", func() {
+		in = make([]float64, hi-lo)
+		for oi := lo; oi < hi; oi++ {
+			z := &k.msh.zones[k.msh.order[oi]]
+			acc := 0.0
+			for f, nb := range z.faces {
+				if nb >= 0 {
+					acc += z.areas[f] * psi[nb]
+				}
+			}
+			in[oi-lo] = acc
+		}
+		t.Work(int64(30 * (hi - lo)))
+	})
+	return
+}
+
+// zoneSolve computes the angular flux for a block of zones in sweep
+// order (upwind closure against the gathered incoming flux). Hot.
+func (k *kernel) zoneSolve(t *proc.Thread, psi []float64, lo, hi int, d direction, in []float64) {
+	k.tcall(t, "umt_ZoneSolve", func() {
+		for oi := lo; oi < hi; oi++ {
+			zi := k.msh.order[oi]
+			z := &k.msh.zones[zi]
+			sig := k.sigT[z.material]
+			area := 0.0
+			for _, a := range z.areas {
+				area += a
+			}
+			psi[zi] = (k.src[zi]*z.volume + in[oi-lo]) / (sig*z.volume + area)
+		}
+		t.Work(int64(45 * (hi - lo)))
+	})
+}
+
+// fluxAccum folds one ordinate's angular flux into the thread-local
+// scalar flux tally. Hot.
+func (k *kernel) fluxAccum(t *proc.Thread, tid int, psi []float64, d direction) {
+	k.tcall(t, "umt_FluxAccum", func() {
+		buf := k.phiT[tid]
+		for i, p := range psi {
+			buf[i] += d.w * p
+		}
+		t.Work(int64(6 * len(psi)))
+	})
+}
+
+// sweepAngle processes one ordinate: block-wise gather, solve, tally. Hot.
+func (k *kernel) sweepAngle(t *proc.Thread, tid, a int) {
+	k.tcall(t, "umt_SweepAngle", func() {
+		d := k.angles[a]
+		n := len(k.msh.zones)
+		psi := make([]float64, n)
+		per := (n + k.blocks - 1) / k.blocks
+		for lo := 0; lo < n; lo += per {
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			in := k.faceFlux(t, psi, lo, hi, d)
+			k.zoneSolve(t, psi, lo, hi, d, in)
+		}
+		k.fluxAccum(t, tid, psi, d)
+	})
+}
+
+// angleLoop is the threaded sweep over the ordinate set. Hot.
+func (k *kernel) angleLoop(t *proc.Thread, tid int) {
+	k.tcall(t, "umt_AngleLoop", func() {
+		lo, hi := omp.ForStatic(0, len(k.angles), tid, k.rt.NumThreads())
+		for a := lo; a < hi; a++ {
+			k.sweepAngle(t, tid, a)
+		}
+	})
+}
+
+// scatterSource rebuilds the emission density from the latest flux. Hot.
+func (k *kernel) scatterSource() {
+	k.call("umt_ScatterSource", func() {
+		for i := range k.src {
+			m := k.msh.zones[i].material
+			base := 1.0
+			if m == 1 {
+				base = 3.0
+			}
+			k.src[i] = base + k.sigS[m]*k.phi[i]
+		}
+		k.work(int64(6 * len(k.src)))
+	})
+}
+
+// --- iteration driver and diagnostics ------------------------------------
+
+// regionDriver runs one threaded sweep region and reduces the tallies.
+func (k *kernel) regionDriver() {
+	k.call("umt_RegionDriver", func() {
+		copy(k.phiOld, k.phi)
+		for i := range k.phi {
+			k.phi[i] = 0
+		}
+		for t := range k.phiT {
+			for i := range k.phiT[t] {
+				k.phiT[t][i] = 0
+			}
+		}
+		k.rt.Parallel(k.c.T, "sweep", func(t *proc.Thread, tid int) {
+			k.angleLoop(t, tid)
+		})
+		// Serial reduction of the per-thread tallies.
+		for t := range k.phiT {
+			for i, v := range k.phiT[t] {
+				k.phi[i] += v
+			}
+		}
+		k.work(int64(len(k.phi) * len(k.phiT)))
+	})
+}
+
+func (k *kernel) convergenceNorm() (d float64) {
+	k.call("umt_ConvergenceNorm", func() {
+		for i := range k.phi {
+			if e := math.Abs(k.phi[i] - k.phiOld[i]); e > d {
+				d = e
+			}
+		}
+		k.work(int64(2 * len(k.phi)))
+	})
+	return
+}
+
+func (k *kernel) converged(d float64) (ok bool) {
+	k.call("umt_Converged", func() { ok = d < 1e-9; k.work(30) })
+	return
+}
+
+func (k *kernel) energyTally() (e float64) {
+	k.call("umt_EnergyTally", func() {
+		for i, p := range k.phi {
+			e += p * k.msh.zones[i].volume
+		}
+		k.work(int64(2 * len(k.phi)))
+	})
+	return
+}
+
+func (k *kernel) balanceCheck() {
+	k.call("umt_BalanceCheck", func() {
+		if k.energyTally() <= 0 {
+			panic("umt98: no energy in the system")
+		}
+		_ = float64(k.msh.boundary) * 0.01 // boundary leakage tally
+		k.work(200)
+	})
+}
+
+func (k *kernel) validate() {
+	k.call("umt_Validate", func() {
+		for i, p := range k.phi {
+			if p < 0 || math.IsNaN(p) {
+				panic(fmt.Sprintf("umt98: bad flux at zone %d: %v", i, p))
+			}
+		}
+		k.work(int64(len(k.phi)))
+	})
+}
+
+// iterDriver runs source iterations.
+func (k *kernel) iterDriver(iters int) (done int) {
+	k.call("umt_IterDriver", func() {
+		for it := 0; it < iters; it++ {
+			k.regionDriver()
+			k.scatterSource()
+			done = it + 1
+			if k.converged(k.convergenceNorm()) {
+				return
+			}
+		}
+	})
+	return
+}
+
+func (k *kernel) timerStart() (t0 float64) {
+	k.call("umt_TimerStart", func() { t0 = k.c.T.Now().Seconds(); k.work(200) })
+	return
+}
+
+func (k *kernel) timerStop(t0 float64) (el float64) {
+	k.call("umt_TimerStop", func() { el = k.c.T.Now().Seconds() - t0; k.work(200) })
+	return
+}
+
+func (k *kernel) timerReport(el float64) {
+	k.call("umt_TimerReport", func() {
+		_ = fmt.Sprintf("umt98: %.4fs on %d threads", el, k.rt.NumThreads())
+		k.work(1_200)
+	})
+}
+
+func (k *kernel) logLine(s string) {
+	k.call("umt_LogLine", func() { _ = len(s); k.work(150) })
+}
+
+func (k *kernel) memReport() (bytes int) {
+	k.call("umt_MemReport", func() {
+		bytes = 8 * (len(k.phi)*2 + len(k.src) + len(k.phiT)*len(k.phi))
+		k.logLine(fmt.Sprintf("memory %d bytes", bytes))
+		k.work(400)
+	})
+	return
+}
+
+func (k *kernel) output(iters int) {
+	k.call("umt_Output", func() {
+		sum := 0.0
+		for _, p := range k.phi {
+			sum += p
+		}
+		k.logLine(fmt.Sprintf("done after %d iterations, checksum %.5f", iters, sum))
+		k.work(900 + int64(len(k.phi)))
+	})
+}
+
+func (k *kernel) cleanup() {
+	k.call("umt_Cleanup", func() {
+		k.phiT = nil
+		k.work(300)
+	})
+}
+
+// runMain is the benchmark body (after VT_init in main).
+func (k *kernel) runMain() {
+	k.call("umt_Main", func() {
+		k.logLine("UMT98 Boltzmann transport, unstructured mesh")
+		zones, angles, iters := k.inputDeck()
+		k.meshGen(zones)
+		k.reorderZones()
+		_ = k.sweepOrder()
+		k.meshStats()
+		_ = k.zoneCentroid(0)
+		k.angleSetInit(angles)
+		k.crossSections()
+		k.sourceInit()
+		k.fluxAlloc()
+		k.scratchAlloc()
+		k.threadSetup()
+		t0 := k.timerStart()
+		done := k.iterDriver(iters)
+		el := k.timerStop(t0)
+		k.balanceCheck()
+		k.validate()
+		k.memReport()
+		k.timerReport(el)
+		k.output(done)
+		k.cleanup()
+	})
+}
+
+// funcTable is Umt98's 44-function table.
+func funcTable() []guide.Func {
+	f := func(name string, size int) guide.Func { return guide.Func{Name: name, Size: size} }
+	return []guide.Func{
+		f("umt_Main", 50), f("umt_InputDeck", 16),
+		f("umt_ParseArgs", 18), f("umt_CheckDeck", 14), f("umt_MeshGen", 30),
+		f("umt_MeshNodes", 26), f("umt_MeshZones", 22), f("umt_ZoneVolume", 12),
+		f("umt_ZoneCentroid", 10), f("umt_MaterialAssign", 10), f("umt_BuildAdjacency", 34),
+		f("umt_FaceAreas", 20), f("umt_BoundaryFaces", 16), f("umt_MeshValidate", 18),
+		f("umt_ReorderZones", 24), f("umt_SweepOrder", 8), f("umt_MeshStats", 12),
+		f("umt_AngleSetInit", 28), f("umt_AngleWeights", 12), f("umt_CrossSections", 10),
+		f("umt_SourceInit", 16), f("umt_FluxAlloc", 12), f("umt_ScratchAlloc", 14),
+		f("umt_ThreadSetup", 10), f("umt_FaceFlux", 36), f("umt_ZoneSolve", 42),
+		f("umt_FluxAccum", 20), f("umt_SweepAngle", 30), f("umt_AngleLoop", 18),
+		f("umt_ScatterSource", 22), f("umt_RegionDriver", 32), f("umt_ConvergenceNorm", 18),
+		f("umt_Converged", 8), f("umt_EnergyTally", 16),
+		f("umt_BalanceCheck", 12), f("umt_Validate", 14),
+		f("umt_IterDriver", 20), f("umt_TimerStart", 8), f("umt_TimerStop", 8),
+		f("umt_TimerReport", 10), f("umt_LogLine", 8), f("umt_MemReport", 12),
+		f("umt_Output", 12), f("umt_Cleanup", 8),
+	}
+}
+
+// App returns the Umt98 application definition.
+func App() *guide.App {
+	return &guide.App{
+		Name:  "umt98",
+		Lang:  guide.OMPF77,
+		Funcs: funcTable(),
+		// The 6 functions responsible for most of the functionality and
+		// the majority of the (inclusive) execution time: the sweep and
+		// iteration drivers. The per-block kernels (ZoneSolve/FaceFlux/
+		// FluxAccum) carry the call volume.
+		Subset: []string{
+			"umt_IterDriver", "umt_RegionDriver", "umt_AngleLoop",
+			"umt_SweepAngle", "umt_ScatterSource", "umt_ConvergenceNorm",
+		},
+		DefaultArgs: map[string]int{"zones": 320, "angles": 24, "iters": 4},
+		Main: func(c *guide.Ctx) {
+			k := &kernel{c: c, rt: c.OMP}
+			k.runMain()
+		},
+	}
+}

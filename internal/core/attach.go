@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"dynprof/internal/des"
+	"dynprof/internal/dpcl"
+	"dynprof/internal/guide"
+	"dynprof/internal/machine"
+)
+
+// AttachSession attaches a dynprof instance to an application that is
+// already executing — the capability the paper's prototype deliberately
+// skipped ("while DPCL provides facilities to attach to an already
+// executing application, we restrict our prototype to the case of first
+// spawning and then instrumenting ... we do not foresee any difficult
+// issues in extending our tool"). This is that extension.
+//
+// Attachment requires the target to be past its tracing-library
+// initialisation on every process (the same safety constraint the spawn
+// path enforces with the Figure 6 callback): instrumentation inserted
+// before VT is ready could call into an uninitialised library.
+func AttachSession(p *des.Proc, mach *machine.Config, job *guide.Job, out io.Writer) (*Session, error) {
+	if out == nil {
+		out = io.Discard
+	}
+	if !job.Released() {
+		return nil, fmt.Errorf("dynprof: cannot attach to a job that was never started")
+	}
+	for i := range job.Processes() {
+		if !job.VT(i).Ready() {
+			return nil, fmt.Errorf("dynprof: process %d has not initialised its tracing library yet; attach after MPI_Init/VT_init", i)
+		}
+	}
+	s := p.Scheduler()
+	ss := &Session{
+		cfg:          Config{Machine: mach, Output: out},
+		s:            s,
+		sys:          dpcl.NewSystem(s, mach),
+		bin:          job.Binary(),
+		job:          job,
+		tf:           NewTimefile(),
+		out:          out,
+		installed:    make(map[string][]*dpcl.Probe),
+		sessionStart: p.Now(),
+		started:      true,
+		ready:        true, // the library is initialised; inserts go live
+	}
+	stop := ss.tf.Begin("attach", p.Now())
+	ss.cl = ss.sys.Connect("dynprof-attach")
+	ss.cl.Attach(p, job.Processes())
+	stop(p.Now())
+	ss.readyAt = p.Now()
+	return ss, nil
+}
+
+// Detach disconnects an attached session, leaving active instrumentation
+// in place (the same semantics as the quit command).
+func (ss *Session) Detach(p *des.Proc) { ss.Quit(p) }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dynprof/internal/des"
+)
+
+// SampleProfile is the result of a statistical-sampling pass: how often
+// each function was at the top of some thread's call stack when a sampling
+// interval expired (Section 2: "statistical sampling captures the program
+// state at regular time intervals, recording the code location currently
+// executing at the time that the interval expires").
+type SampleProfile struct {
+	Counts  map[string]int64
+	Samples int64
+}
+
+// Top returns the n most frequently sampled application functions,
+// hottest first, skipping runtime symbols (MPI_*, VT_*, configuration_*)
+// and idle samples.
+func (sp *SampleProfile) Top(n int) []string {
+	type kv struct {
+		name  string
+		count int64
+	}
+	var ranked []kv
+	for name, c := range sp.Counts {
+		if name == "" || isRuntimeSymbol(name) {
+			continue
+		}
+		ranked = append(ranked, kv{name, c})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		return ranked[i].name < ranked[j].name
+	})
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = ranked[i].name
+	}
+	return out
+}
+
+func isRuntimeSymbol(name string) bool {
+	return strings.HasPrefix(name, "MPI_") || strings.HasPrefix(name, "VT_") ||
+		strings.HasPrefix(name, "configuration_")
+}
+
+// Sample profiles the running target by periodic inspection: every
+// interval of virtual time it records the function each live thread is
+// executing, for the given duration. The target keeps running — sampling
+// is the low-overhead half of the ephemeral model.
+func (ss *Session) Sample(p *des.Proc, interval, duration des.Time) *SampleProfile {
+	if interval <= 0 {
+		panic("dynprof: non-positive sampling interval")
+	}
+	sp := &SampleProfile{Counts: make(map[string]int64)}
+	for elapsed := des.Time(0); elapsed < duration && !ss.job.Done(); elapsed += interval {
+		p.Advance(interval)
+		for _, pr := range ss.job.Processes() {
+			for _, t := range pr.Threads() {
+				sp.Counts[t.CurrentFunction()]++
+				sp.Samples++
+			}
+		}
+	}
+	return sp
+}
+
+// EphemeralProfile implements the combined model of Traub et al. [15]
+// that Section 2 describes: "statistical sampling to determine parts of
+// the code that should be monitored more closely", then dynamically
+// activated detailed instrumentation "for those important regions to get
+// performance snapshots". It samples for sampleFor, instruments the topN
+// hottest functions, holds the detailed probes for detailFor, and removes
+// them again. It returns the functions that were monitored.
+func (ss *Session) EphemeralProfile(p *des.Proc, interval, sampleFor, detailFor des.Time, topN int) ([]string, error) {
+	if !ss.ready {
+		return nil, fmt.Errorf("dynprof: ephemeral profiling needs a started target")
+	}
+	sp := ss.Sample(p, interval, sampleFor)
+	hot := sp.Top(topN)
+	if len(hot) == 0 {
+		return nil, fmt.Errorf("dynprof: sampling saw no application functions (%d samples)", sp.Samples)
+	}
+	if err := ss.Insert(p, hot...); err != nil {
+		return hot, err
+	}
+	p.Advance(detailFor)
+	if err := ss.Remove(p, hot...); err != nil {
+		return hot, err
+	}
+	return hot, nil
+}

@@ -1,0 +1,49 @@
+package des
+
+// RNG is a small, fast, deterministic random number generator (splitmix64).
+// Every source of "randomness" in the simulation (DPCL message jitter,
+// interconnect contention noise) draws from a seeded RNG so that runs are
+// reproducible.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("des: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Jitter returns base scaled by a factor drawn uniformly from
+// [1-frac, 1+frac]. It never returns a negative duration.
+func (r *RNG) Jitter(base Time, frac float64) Time {
+	f := 1 + frac*(2*r.Float64()-1)
+	j := Time(float64(base) * f)
+	if j < 0 {
+		return 0
+	}
+	return j
+}
+
+// Fork derives an independent RNG stream from r, so that subsystems can
+// consume randomness without perturbing each other's sequences.
+func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }

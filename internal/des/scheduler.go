@@ -1,0 +1,139 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+)
+
+// event is a scheduled callback. Events at the same virtual time fire in
+// insertion (seq) order, which keeps the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Scheduler owns the virtual clock and the event queue, and drives every
+// Proc in the simulation. A Scheduler must only be used from the goroutine
+// that calls Run (Procs are resumed synchronously inside Run, so Proc code
+// also effectively runs under Run).
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   []*Proc
+	rng     *RNG
+	stopped bool
+	fatal   *procPanic
+}
+
+// procPanic records a panic raised inside a Proc so that Run can re-raise
+// it on the driving goroutine with context attached.
+type procPanic struct {
+	proc  string
+	value any
+}
+
+// NewScheduler returns a Scheduler with its clock at zero, seeded with seed.
+func NewScheduler(seed uint64) *Scheduler {
+	return &Scheduler{rng: NewRNG(seed)}
+}
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// RNG returns the scheduler's deterministic random source.
+func (s *Scheduler) RNG() *RNG { return s.rng }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// that is always a bug in a simulation model.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: event scheduled at %v, before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Stop makes Run return after the current event completes. Parked Procs are
+// aborted so their goroutines exit.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// DeadlockError is returned by Run when the event queue drains while some
+// Procs are still blocked: nothing can ever wake them again.
+type DeadlockError struct {
+	// Blocked lists the names of the Procs that were still parked, with
+	// the operation each was blocked on.
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("des: deadlock: %d proc(s) blocked forever: %s",
+		len(e.Blocked), strings.Join(e.Blocked, ", "))
+}
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns a *DeadlockError if Procs remain blocked with no pending events,
+// and nil otherwise. Panics raised inside Procs are re-raised here.
+func (s *Scheduler) Run() error {
+	for len(s.events) > 0 && !s.stopped {
+		ev := heap.Pop(&s.events).(*event)
+		s.now = ev.at
+		ev.fn()
+		if s.fatal != nil {
+			f := s.fatal
+			s.abortAll()
+			panic(fmt.Sprintf("des: panic in proc %q: %v", f.proc, f.value))
+		}
+	}
+	var blocked []string
+	for _, p := range s.procs {
+		if !p.done && p.started && !p.daemon {
+			blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, p.blockedOn))
+		}
+	}
+	s.abortAll()
+	if s.stopped {
+		return nil
+	}
+	if len(blocked) > 0 {
+		return &DeadlockError{Blocked: blocked}
+	}
+	return nil
+}
+
+// abortAll resumes every parked proc with the abort flag so its goroutine
+// unwinds and exits. Used on Stop, deadlock and fatal-panic paths so the
+// process does not leak goroutines.
+func (s *Scheduler) abortAll() {
+	for _, p := range s.procs {
+		for !p.done {
+			p.killed = true
+			p.resume <- resumeMsg{abort: true}
+			<-p.parked
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package dpcl simulates the Dynamic Probe Class Library: the daemon
+// infrastructure that performs dynamic instrumentation on behalf of a
+// tool (Figure 5 of the paper). There is one super daemon per node; it
+// authenticates connecting users and creates one communication daemon per
+// user connection. The communication daemons attach to target processes
+// and actually patch their images.
+//
+// DPCL is an asynchronous system: every client request travels to the
+// node daemons with per-node jittered delays, so "it is unlikely that
+// inserted code snippets become active in all processes at the same
+// time". Blocking client calls wait for all daemon acknowledgements.
+package dpcl
+
+import (
+	"fmt"
+
+	"dynprof/internal/des"
+	"dynprof/internal/machine"
+	"dynprof/internal/proc"
+)
+
+// Cost model for daemon-side operations, calibrated against the paper's
+// Figure 9 (tens of seconds to create and instrument the ASCI kernels).
+const (
+	// installTime is daemon time to allocate trampoline space, generate
+	// snippet code and patch one probe point in a target's address space.
+	installTime = 25 * des.Millisecond
+	// toggleTime is daemon time to activate/deactivate an installed probe.
+	toggleTime = 2 * des.Millisecond
+	// removeTime is daemon time to unlink and free one probe.
+	removeTime = 8 * des.Millisecond
+	// suspendTime / resumeTime are daemon costs around process control.
+	suspendTime = 500 * des.Microsecond
+	resumeTime  = 500 * des.Microsecond
+	// connectTime is the super daemon's per-connection authentication
+	// plus communication-daemon creation cost.
+	connectTime = 60 * des.Millisecond
+	// clientRequestCycles is client-side CPU work to marshal one request.
+	clientRequestCycles = 1_200_000
+)
+
+// Job-creation cost model: spawning the target under poe (Section 3.3's
+// "internally, dynprof makes a call to initiate the application using
+// poe") dominated by per-process loader/daemon work.
+const (
+	createBase    = 8 * des.Second
+	createPerNode = 400 * des.Millisecond
+	createPerProc = 450 * des.Millisecond
+)
+
+// CreateCost models the time for poe plus the DPCL daemons to spawn a
+// held target application across the given nodes and processes.
+func CreateCost(nodes, procs int) des.Time {
+	return createBase + des.Time(nodes)*createPerNode + des.Time(procs)*createPerProc
+}
+
+// System is the DPCL installation on a machine: the set of super daemons.
+type System struct {
+	s      *des.Scheduler
+	mach   *machine.Config
+	rng    *des.RNG
+	supers map[int]*superDaemon
+}
+
+// NewSystem starts DPCL on the machine (super daemons are materialised
+// lazily per node).
+func NewSystem(s *des.Scheduler, mach *machine.Config) *System {
+	return &System{s: s, mach: mach, rng: s.RNG().Fork(), supers: make(map[int]*superDaemon)}
+}
+
+// superDaemon is the per-node root daemon ("there is exactly one super
+// daemon on each node of the system").
+type superDaemon struct {
+	node  int
+	comms map[string]*commDaemon // per user
+}
+
+func (sys *System) super(node int) *superDaemon {
+	sd, ok := sys.supers[node]
+	if !ok {
+		sd = &superDaemon{node: node, comms: make(map[string]*commDaemon)}
+		sys.supers[node] = sd
+	}
+	return sd
+}
+
+// commDaemon handles one user's instrumentation requests on one node.
+type commDaemon struct {
+	sys   *System
+	node  int
+	user  string
+	inbox *des.Mailbox
+	// lastArrive enforces FIFO delivery on the client→daemon connection:
+	// individual messages see jittered latency, but they cannot overtake
+	// one another (the connection is a stream).
+	lastArrive des.Time
+}
+
+// deliver schedules m's arrival at the daemon after a jittered latency,
+// never before previously sent messages.
+func (d *commDaemon) deliver(m any) {
+	at := d.sys.s.Now() + d.sys.delay()
+	if at < d.lastArrive {
+		at = d.lastArrive
+	}
+	d.lastArrive = at
+	d.sys.s.At(at, func() { d.inbox.Put(m) })
+}
+
+// newCommDaemon spawns the daemon's service loop.
+func newCommDaemon(sys *System, node int, user string) *commDaemon {
+	d := &commDaemon{
+		sys:   sys,
+		node:  node,
+		user:  user,
+		inbox: des.NewMailbox(sys.s, fmt.Sprintf("dpcld.%d.%s", node, user)),
+	}
+	dp := sys.s.Spawn(fmt.Sprintf("dpcld@%d/%s", node, user), func(p *des.Proc) { d.serve(p) })
+	dp.SetDaemon(true)
+	return d
+}
+
+// request is one unit of work for a communication daemon.
+type request struct {
+	kind   string
+	target *proc.Process
+	run    func(p *des.Proc) // daemon-side action
+	cost   des.Time
+	reply  *des.Mailbox
+	tag    any
+}
+
+// shutdownReq stops a daemon loop (used on Client.Disconnect).
+type shutdownReq struct{}
+
+func (d *commDaemon) serve(p *des.Proc) {
+	for {
+		m := p.Recv(d.inbox)
+		if _, stop := m.(shutdownReq); stop {
+			return
+		}
+		req := m.(*request)
+		if req.cost > 0 {
+			p.Advance(req.cost)
+		}
+		if req.run != nil {
+			req.run(p)
+		}
+		if req.reply != nil {
+			// The acknowledgement travels back with its own jitter.
+			req.reply.PutAfter(d.sys.delay(), ack{kind: req.kind, tag: req.tag})
+		}
+	}
+}
+
+type ack struct {
+	kind string
+	tag  any
+}
+
+// Delay draws one jittered control-message latency — the per-node delivery
+// variance that makes DPCL asynchronous. Exposed so tools can model
+// actions that bypass the request path (e.g. resetting a spin variable in
+// a target's memory).
+func (sys *System) Delay() des.Time {
+	return sys.rng.Jitter(sys.mach.DaemonLatency, sys.mach.DaemonJitter)
+}
+
+func (sys *System) delay() des.Time { return sys.Delay() }
+
+// Event is an asynchronous notification delivered to a client: a snippet
+// callback (DPCL_callback) or a breakpoint hit.
+type Event struct {
+	// Kind is "callback" or "breakpoint".
+	Kind string
+	// Tag is the callback tag or breakpoint symbol.
+	Tag string
+	// Rank identifies the originating process.
+	Rank int
+}
+
+// Client is an instrumenter's connection to DPCL.
+type Client struct {
+	sys    *System
+	user   string
+	events *des.Mailbox
+	byNode map[int]*commDaemon
+	procs  []*proc.Process
+	nodes  map[*proc.Process]int
+}
+
+// Connect authenticates user against the super daemons; per-node
+// communication daemons are created as processes on those nodes are
+// attached.
+func (sys *System) Connect(user string) *Client {
+	return &Client{
+		sys:    sys,
+		user:   user,
+		events: des.NewMailbox(sys.s, "dpcl.events."+user),
+		byNode: make(map[int]*commDaemon),
+		nodes:  make(map[*proc.Process]int),
+	}
+}
+
+// Attach connects the client to the target processes, creating (and
+// paying for) one communication daemon per distinct node. p is the
+// client's own simulated process.
+func (cl *Client) Attach(p *des.Proc, procs []*proc.Process) {
+	for _, pr := range procs {
+		node := pr.Node()
+		cl.nodes[pr] = node
+		if _, ok := cl.byNode[node]; ok {
+			continue
+		}
+		sd := cl.sys.super(node)
+		d, ok := sd.comms[cl.user]
+		if !ok {
+			// Round trip to the super daemon plus daemon creation.
+			p.Advance(cl.sys.delay())
+			p.Advance(connectTime)
+			d = newCommDaemon(cl.sys, node, cl.user)
+			sd.comms[cl.user] = d
+		}
+		cl.byNode[node] = d
+	}
+	cl.procs = append(cl.procs, procs...)
+}
+
+// Events returns the client's notification mailbox; instrumenters Recv on
+// it for callbacks and breakpoint hits.
+func (cl *Client) Events() *des.Mailbox { return cl.events }
+
+// Targets returns the processes the client is attached to.
+func (cl *Client) Targets() []*proc.Process { return append([]*proc.Process(nil), cl.procs...) }
+
+// daemonFor resolves the communication daemon serving pr.
+func (cl *Client) daemonFor(pr *proc.Process) *commDaemon {
+	node, ok := cl.nodes[pr]
+	if !ok {
+		panic(fmt.Sprintf("dpcl: client %s not attached to %s", cl.user, pr.Name()))
+	}
+	return cl.byNode[node]
+}
+
+// post sends one request to pr's daemon with transmission jitter, charging
+// the client's marshalling cost. The returned mailbox receives the ack if
+// reply is true.
+func (cl *Client) post(p *des.Proc, pr *proc.Process, req *request, reply bool) *des.Mailbox {
+	p.Advance(cl.sys.mach.CyclesToTime(clientRequestCycles))
+	if reply {
+		req.reply = des.NewMailbox(cl.sys.s, "dpcl.reply")
+	}
+	req.target = pr
+	cl.daemonFor(pr).deliver(req)
+	return req.reply
+}
+
+// collect drains one ack per mailbox (blocking the client).
+func collect(p *des.Proc, replies []*des.Mailbox) {
+	for _, mb := range replies {
+		p.Recv(mb)
+	}
+}
+
+// Disconnect shuts down this client's communication daemons. Probes that
+// are active remain active: quitting dynprof "will cause the instrumenter
+// to detach from the application; all instrumentation that is active
+// prior to quitting will remain active".
+func (cl *Client) Disconnect() {
+	seen := make(map[*commDaemon]bool)
+	for node, d := range cl.byNode {
+		if !seen[d] {
+			seen[d] = true
+			d.deliver(shutdownReq{})
+		}
+		delete(cl.sys.super(node).comms, cl.user)
+	}
+	cl.byNode = make(map[int]*commDaemon)
+}

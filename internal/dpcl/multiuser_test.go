@@ -1,0 +1,103 @@
+package dpcl
+
+import (
+	"testing"
+
+	"dynprof/internal/des"
+	"dynprof/internal/image"
+	"dynprof/internal/proc"
+)
+
+// TestOneCommDaemonPerUser checks Figure 5's structure: "the super daemon
+// creates one communication daemon for each user that connects to an
+// application on the node".
+func TestOneCommDaemonPerUser(t *testing.T) {
+	r := newRig(t, 2) // both targets on node 0
+	r.idle(des.Millisecond)
+	r.s.Spawn("tools", func(p *des.Proc) {
+		alice := r.sys.Connect("alice")
+		alice.Attach(p, r.procs)
+		bob := r.sys.Connect("bob")
+		bob.Attach(p, r.procs)
+		sd := r.sys.super(0)
+		if len(sd.comms) != 2 {
+			t.Errorf("super daemon runs %d comm daemons, want one per user", len(sd.comms))
+		}
+		if sd.comms["alice"] == sd.comms["bob"] {
+			t.Error("users share a communication daemon")
+		}
+		// A second client for the same user reuses the daemon.
+		alice2 := r.sys.Connect("alice")
+		alice2.Attach(p, r.procs)
+		if len(sd.comms) != 2 {
+			t.Errorf("re-connect grew daemon count to %d", len(sd.comms))
+		}
+		alice.Disconnect()
+		bob.Disconnect()
+	})
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTwoUsersInstrumentIndependently: two instrumenters chain probes at
+// the same point; each removes its own without disturbing the other's.
+func TestTwoUsersInstrumentIndependently(t *testing.T) {
+	r := newRig(t, 1)
+	fired := map[string]int{}
+	var pa, pb *Probe
+	r.s.Spawn("alice", func(p *des.Proc) {
+		cl := r.sys.Connect("alice")
+		cl.Attach(p, r.procs)
+		var err error
+		pa, err = cl.InstallProbe(p, r.procs, "hot", image.EntryPoint, 0, "alice-probe",
+			func(pr *proc.Process) image.Snippet {
+				return func(ec image.ExecCtx) { fired["alice"]++ }
+			})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cl.Activate(p, pa)
+		p.Advance(400 * des.Millisecond)
+		if err := cl.Remove(p, pa); err != nil {
+			t.Error(err)
+		}
+		cl.Disconnect()
+	})
+	r.s.Spawn("bob", func(p *des.Proc) {
+		cl := r.sys.Connect("bob")
+		cl.Attach(p, r.procs)
+		var err error
+		pb, err = cl.InstallProbe(p, r.procs, "hot", image.EntryPoint, 0, "bob-probe",
+			func(pr *proc.Process) image.Snippet {
+				return func(ec image.ExecCtx) { fired["bob"]++ }
+			})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cl.Activate(p, pb)
+		p.Advance(900 * des.Millisecond)
+		if err := cl.Remove(p, pb); err != nil {
+			t.Error(err)
+		}
+		cl.Disconnect()
+	})
+	r.idle(1200 * des.Millisecond)
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired["alice"] == 0 || fired["bob"] == 0 {
+		t.Fatalf("fired = %v; both users' probes must run", fired)
+	}
+	// Bob's probe outlived Alice's removal, so it fires more.
+	if fired["bob"] <= fired["alice"] {
+		t.Fatalf("fired = %v; bob's longer window should record more", fired)
+	}
+	for _, pr := range r.procs {
+		if pr.Image().HeapWords() != 0 {
+			t.Fatalf("heap words leaked after both removals: %d", pr.Image().HeapWords())
+		}
+	}
+}

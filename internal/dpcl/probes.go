@@ -1,0 +1,164 @@
+package dpcl
+
+import (
+	"fmt"
+
+	"dynprof/internal/des"
+	"dynprof/internal/image"
+	"dynprof/internal/proc"
+)
+
+// Probe is one snippet installed at one probe point across a set of
+// processes (DPCL installs per-process; the Probe aggregates the handles).
+type Probe struct {
+	Sym   string
+	Kind  image.PointKind
+	Exit  int
+	Name  string
+	hands map[*proc.Process]*image.ProbeHandle
+}
+
+// InstallProbe patches snippet code at sym's probe point in every target
+// process, blocking until all daemons acknowledge. mk builds the snippet
+// for each process (snippets call into per-process library instances).
+// The probe is installed inactive; use Activate.
+func (cl *Client) InstallProbe(p *des.Proc, procs []*proc.Process,
+	sym string, kind image.PointKind, exit int, name string,
+	mk func(pr *proc.Process) image.Snippet) (*Probe, error) {
+
+	probe := &Probe{Sym: sym, Kind: kind, Exit: exit, Name: name,
+		hands: make(map[*proc.Process]*image.ProbeHandle, len(procs))}
+	var errs []error
+	var replies []*des.Mailbox
+	for _, pr := range procs {
+		pr := pr
+		req := &request{kind: "install", cost: installTime, run: func(dp *des.Proc) {
+			img := pr.Image()
+			s, ok := img.Lookup(sym)
+			if !ok {
+				errs = append(errs, fmt.Errorf("dpcl: %s: no symbol %q", pr.Name(), sym))
+				return
+			}
+			id := img.NewSnippetID()
+			img.BindSnippet(id, name, mk(pr))
+			h, err := img.InsertProbe(s, kind, exit, id)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("dpcl: %s: %w", pr.Name(), err))
+				return
+			}
+			probe.hands[pr] = h
+		}}
+		replies = append(replies, cl.post(p, pr, req, true))
+	}
+	collect(p, replies)
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return probe, nil
+}
+
+// Activate turns the probe's snippets on in every process. Acknowledged.
+func (cl *Client) Activate(p *des.Proc, probe *Probe) {
+	cl.toggle(p, probe, true)
+}
+
+// Deactivate turns the probe's snippets off in every process.
+func (cl *Client) Deactivate(p *des.Proc, probe *Probe) {
+	cl.toggle(p, probe, false)
+}
+
+func (cl *Client) toggle(p *des.Proc, probe *Probe, active bool) {
+	var replies []*des.Mailbox
+	for pr, h := range probe.hands {
+		h := h
+		req := &request{kind: "toggle", cost: toggleTime, run: func(dp *des.Proc) {
+			h.SetActive(active)
+		}}
+		replies = append(replies, cl.post(p, pr, req, true))
+	}
+	collect(p, replies)
+}
+
+// Remove unlinks the probe from every process, restoring pristine code at
+// probe points whose last snippet goes away.
+func (cl *Client) Remove(p *des.Proc, probe *Probe) error {
+	var errs []error
+	var replies []*des.Mailbox
+	for pr, h := range probe.hands {
+		h := h
+		req := &request{kind: "remove", cost: removeTime, run: func(dp *des.Proc) {
+			if err := h.Remove(); err != nil {
+				errs = append(errs, err)
+			}
+		}}
+		replies = append(replies, cl.post(p, pr, req, true))
+	}
+	collect(p, replies)
+	probe.hands = make(map[*proc.Process]*image.ProbeHandle)
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// Suspend halts the target processes. With blocking set, it waits until
+// every thread of every target is actually stopped (the guarantee dynprof
+// relies on before patching a running OpenMP image: "we use a blocking
+// version of the DPCL suspend function").
+func (cl *Client) Suspend(p *des.Proc, procs []*proc.Process, blocking bool) {
+	var replies []*des.Mailbox
+	for _, pr := range procs {
+		pr := pr
+		req := &request{kind: "suspend", cost: suspendTime, run: func(dp *des.Proc) {
+			pr.RequestSuspend()
+			if blocking {
+				pr.WaitStopped(dp)
+			}
+		}}
+		replies = append(replies, cl.post(p, pr, req, blocking))
+	}
+	if blocking {
+		collect(p, replies)
+	}
+}
+
+// Resume releases suspended target processes (unacknowledged, like the
+// asynchronous continue in DPCL).
+func (cl *Client) Resume(p *des.Proc, procs []*proc.Process) {
+	for _, pr := range procs {
+		pr := pr
+		cl.post(p, pr, &request{kind: "resume", cost: resumeTime, run: func(dp *des.Proc) {
+			pr.Resume()
+		}}, false)
+	}
+}
+
+// PostCallback delivers a DPCL_callback message from a target process to
+// the client's event mailbox, with the usual daemon-path jitter. Snippets
+// running inside the application call this.
+func (cl *Client) PostCallback(tag string, rank int) {
+	cl.events.PutAfter(cl.sys.delay(), Event{Kind: "callback", Tag: tag, Rank: rank})
+}
+
+// WatchBreakpoints arranges for hits of the named breakpoint in any target
+// process to suspend that process and notify the client's event mailbox —
+// the monitoring-tool side of dynamic control of instrumentation.
+func (cl *Client) WatchBreakpoints(procs []*proc.Process, symbol string) {
+	for _, pr := range procs {
+		pr := pr
+		pr.SetBreakpointHandler(func(t *proc.Thread, name string) {
+			if name != symbol {
+				return
+			}
+			pr.RequestSuspend()
+			cl.events.PutAfter(cl.sys.delay(), Event{Kind: "breakpoint", Tag: name, Rank: pr.Rank()})
+		})
+	}
+}
+
+// ClearBreakpoints removes breakpoint handlers from the targets.
+func (cl *Client) ClearBreakpoints(procs []*proc.Process) {
+	for _, pr := range procs {
+		pr.SetBreakpointHandler(nil)
+	}
+}

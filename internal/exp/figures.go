@@ -1,0 +1,307 @@
+package exp
+
+import (
+	"fmt"
+
+	"dynprof/internal/apps"
+	"dynprof/internal/des"
+	"dynprof/internal/guide"
+	"dynprof/internal/machine"
+	"dynprof/internal/vt"
+)
+
+// Point is one (CPU count, value) measurement.
+type Point struct {
+	CPUs  int
+	Value float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduced table or figure of the paper.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// At returns the series value at the given CPU count (NaN-free: ok=false
+// when the point is absent, e.g. Sweep3d's missing 1-CPU run).
+func (f *Figure) At(label string, cpus int) (float64, bool) {
+	for _, s := range f.Series {
+		if s.Label != label {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.CPUs == cpus {
+				return p.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Machine overrides the platform (default: the IBM Power3 cluster).
+	Machine *machine.Config
+	// Seed fixes all simulated asynchrony.
+	Seed uint64
+	// MaxCPUs truncates the CPU sweep (for quick runs); 0 means the
+	// paper's full range.
+	MaxCPUs int
+}
+
+func (o Options) machine() *machine.Config {
+	if o.Machine != nil {
+		return o.Machine
+	}
+	return machine.IBMPower3Cluster()
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 2003
+	}
+	return o.Seed
+}
+
+func (o Options) cap(cpus []int) []int {
+	if o.MaxCPUs <= 0 {
+		return cpus
+	}
+	out := cpus[:0:0]
+	for _, c := range cpus {
+		if c <= o.MaxCPUs {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// mpiCPUs is the processor sweep of Section 4.2 for MPI applications.
+var mpiCPUs = []int{1, 2, 4, 8, 16, 32, 64}
+
+// ompCPUs is the sweep for Umt98, restricted to one SMP node.
+var ompCPUs = []int{1, 2, 4, 8}
+
+// cpusFor returns the evaluated CPU counts for an application, including
+// the paper's omissions (no 1-CPU Sweep3d run).
+func cpusFor(app *guide.App) []int {
+	switch {
+	case app.Name == "sweep3d":
+		return mpiCPUs[1:]
+	case !app.Lang.IsMPI():
+		return ompCPUs
+	default:
+		return mpiCPUs
+	}
+}
+
+// Fig7 reproduces one panel of Figure 7: the execution time of every
+// instrumentation policy across the processor sweep for the named
+// application.
+func Fig7(appName string, opts Options) (*Figure, error) {
+	app, err := apps.Get(appName)
+	if err != nil {
+		return nil, err
+	}
+	panel := map[string]string{"smg98": "a", "sppm": "b", "sweep3d": "c", "umt98": "d"}[appName]
+	fig := &Figure{
+		ID:     "fig7" + panel,
+		Title:  fmt.Sprintf("Execution time of instrumented versions of %s", app.Name),
+		XLabel: "CPUs",
+		YLabel: "Time (s)",
+	}
+	for _, p := range PoliciesFor(app) {
+		s := Series{Label: p.String()}
+		for _, cpus := range opts.cap(cpusFor(app)) {
+			res, err := RunPolicy(opts.machine(), app, p, cpus, nil, opts.seed())
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s/%d CPUs: %w", appName, p, cpus, err)
+			}
+			s.Points = append(s.Points, Point{CPUs: cpus, Value: res.Elapsed.Seconds()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// ConfSyncProbe measures VT_confsync behaviour on one world size: the
+// mean cost over repetitions of calling ConfSync with or without staged
+// configuration changes and with or without the runtime-statistics dump.
+func ConfSyncProbe(mach *machine.Config, cpus, reps, nfuncs, changes int,
+	writeStats bool, seed uint64) (mean des.Time, err error) {
+
+	app := &guide.App{
+		Name:  "csync",
+		Lang:  guide.MPIC,
+		Funcs: []guide.Func{{Name: "cs_compute", Size: 30}},
+		Main:  nil,
+	}
+	var total des.Time
+	app.Main = func(c *guide.Ctx) {
+		c.MPI.Init()
+		// Populate the library with a realistic function table and some
+		// statistics content.
+		for i := 0; i < nfuncs; i++ {
+			id := c.VT.FuncDef(fmt.Sprintf("func_%03d", i))
+			c.VT.Begin(c.T, id)
+			c.VT.End(c.T, id)
+		}
+		for rep := 0; rep < reps; rep++ {
+			c.Call("cs_compute", func() { c.T.Work(400_000) })
+			if c.MPI.Rank() == 0 && changes > 0 {
+				chs := make([]vt.Change, changes)
+				for i := range chs {
+					chs[i] = vt.Change{Pattern: fmt.Sprintf("func_%03d", (rep+i)%nfuncs), Active: rep%2 == 0}
+				}
+				c.VT.QueueChanges(chs)
+			}
+			c.T.Sync()
+			t0 := c.T.Now()
+			c.VT.ConfSync(c.MPI, writeStats, nil)
+			c.T.Sync()
+			if c.MPI.Rank() == 0 {
+				total += c.T.Now() - t0
+			}
+		}
+		c.MPI.Finalize()
+	}
+	bin, err := guide.Build(app, guide.BuildOpts{})
+	if err != nil {
+		return 0, err
+	}
+	s := des.NewScheduler(seed)
+	j, err := guide.Launch(s, mach, bin, guide.LaunchOpts{Procs: cpus, CountOnly: true})
+	if err != nil {
+		return 0, err
+	}
+	if err := s.Run(); err != nil {
+		return 0, err
+	}
+	if !j.Done() {
+		return 0, fmt.Errorf("exp: confsync probe did not finish")
+	}
+	return total / des.Time(reps), nil
+}
+
+// confSyncCPUs is the processor sweep of Figure 8 (a) and (b).
+var confSyncCPUs = []int{2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// ia32CPUs is the sweep of Figure 8 (c): 2..16 on the IA32 cluster.
+var ia32CPUs = []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+
+// Fig8a reproduces Figure 8(a): VT_confsync cost on the IBM system with
+// and without configuration changes, averaged over 16 calls.
+func Fig8a(opts Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig8a",
+		Title:  "Time for VT_confsync on IBM",
+		XLabel: "Number of Processors",
+		YLabel: "Time (s)",
+	}
+	for _, variant := range []struct {
+		label   string
+		changes int
+	}{{"No Change", 0}, {"Changes", 8}} {
+		s := Series{Label: variant.label}
+		for _, cpus := range opts.cap(confSyncCPUs) {
+			mean, err := ConfSyncProbe(opts.machine(), cpus, 16, 64, variant.changes, false, opts.seed())
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{CPUs: cpus, Value: mean.Seconds()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig8b reproduces Figure 8(b): VT_confsync used to synchronise runtime
+// generation of statistical data on the IBM system.
+func Fig8b(opts Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig8b",
+		Title:  "Time to write statistics on IBM",
+		XLabel: "Number of Processors",
+		YLabel: "Time (s)",
+	}
+	s := Series{Label: "Statistics"}
+	for _, cpus := range opts.cap(confSyncCPUs) {
+		mean, err := ConfSyncProbe(opts.machine(), cpus, 16, 64, 0, true, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, Point{CPUs: cpus, Value: mean.Seconds()})
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// Fig8c reproduces Figure 8(c): VT_confsync on the Intel IA32 Linux
+// cluster, demonstrating "that the synchronization API has similar
+// behavior between two different processor architectures".
+func Fig8c(opts Options) (*Figure, error) {
+	mach := machine.IA32LinuxCluster()
+	fig := &Figure{
+		ID:     "fig8c",
+		Title:  "Time for VT_confsync on IA32",
+		XLabel: "Number of Processors",
+		YLabel: "Time (s)",
+	}
+	s := Series{Label: "No Change"}
+	for _, cpus := range opts.cap(ia32CPUs) {
+		mean, err := ConfSyncProbe(mach, cpus, 16, 64, 0, false, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, Point{CPUs: cpus, Value: mean.Seconds()})
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// fig9Args shrinks each application's deck: Figure 9 measures dynprof's
+// create+instrument time, which depends on the function counts and the
+// job size, not on how long the main computation runs.
+var fig9Args = map[string]map[string]int{
+	"smg98":   {"nx": 6, "ny": 6, "nz": 8, "iters": 1},
+	"sppm":    {"nx": 6, "ny": 6, "nz": 6, "steps": 1},
+	"sweep3d": {"nx": 64, "ny": 4, "nz": 4, "iters": 1},
+	"umt98":   {"zones": 64, "angles": 8, "iters": 1},
+}
+
+// Fig9 reproduces Figure 9: the time used by dynprof to create and
+// instrument each ASCI kernel across the processor sweep. The Umt98 line
+// stays flat: "there is only a single OpenMP process to instrument".
+func Fig9(opts Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig9",
+		Title:  "Time to create and instrument",
+		XLabel: "CPUs",
+		YLabel: "Time (s)",
+	}
+	for _, name := range apps.Names() {
+		app, err := apps.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Label: app.Name}
+		for _, cpus := range opts.cap(cpusFor(app)) {
+			res, err := RunPolicy(opts.machine(), app, Dynamic, cpus, fig9Args[name], opts.seed())
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s/%d: %w", name, cpus, err)
+			}
+			s.Points = append(s.Points, Point{CPUs: cpus, Value: res.CreateAndInstrument.Seconds()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

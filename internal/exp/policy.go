@@ -1,0 +1,189 @@
+// Package exp is the experiment harness: it reproduces every table and
+// figure of the paper's evaluation (Sections 4 and 5) as deterministic
+// simulation runs, producing labelled data series that the cmd/experiments
+// tool and the repository's benchmarks render.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"dynprof/internal/core"
+	"dynprof/internal/des"
+	"dynprof/internal/guide"
+	"dynprof/internal/machine"
+	"dynprof/internal/vt"
+)
+
+// Policy is one of Table 3's instrumentation policies.
+type Policy int
+
+// The instrumentation policies of Table 3.
+const (
+	// Full: all functions are statically instrumented.
+	Full Policy = iota
+	// FullOff: all functions are statically instrumented but disabled
+	// using the configuration file.
+	FullOff
+	// Subset: all functions are statically instrumented with only an
+	// important subset left active.
+	Subset
+	// None: no subroutine instrumentation is inserted.
+	None
+	// Dynamic: the dynprof tool is used to dynamically instrument the
+	// same functions used by Subset.
+	Dynamic
+)
+
+// String names the policy as Table 3 does.
+func (p Policy) String() string {
+	switch p {
+	case Full:
+		return "Full"
+	case FullOff:
+		return "Full-Off"
+	case Subset:
+		return "Subset"
+	case None:
+		return "None"
+	case Dynamic:
+		return "Dynamic"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Description reproduces Table 3's description column.
+func (p Policy) Description() string {
+	switch p {
+	case Full:
+		return "All functions are statically instrumented."
+	case FullOff:
+		return "All functions are statically instrumented but disabled using the configuration file."
+	case Subset:
+		return "All functions are statically instrumented with only an important subset left active."
+	case None:
+		return "No subroutine instrumentation is inserted."
+	case Dynamic:
+		return "The dynprof tool is used to dynamically instrument the same functions used by Subset."
+	default:
+		return ""
+	}
+}
+
+// AllPolicies lists Table 3's policies in presentation order.
+func AllPolicies() []Policy { return []Policy{Full, FullOff, Subset, None, Dynamic} }
+
+// PoliciesFor returns the policies evaluated for an application. Sweep3d
+// has no Subset version: "since there are negligible differences ... we
+// decided that a Subset version was unnecessary".
+func PoliciesFor(app *guide.App) []Policy {
+	if app.Name == "sweep3d" {
+		return []Policy{Full, FullOff, None, Dynamic}
+	}
+	return AllPolicies()
+}
+
+// subsetConfig builds the VT configuration deactivating everything but the
+// application's important subset.
+func subsetConfig(app *guide.App) *vt.Config {
+	var b strings.Builder
+	b.WriteString("SYMBOL * OFF\n")
+	for _, s := range app.Subset {
+		fmt.Fprintf(&b, "SYMBOL %s ON\n", s)
+	}
+	return vt.MustParseConfig(b.String())
+}
+
+// BuildOptsFor maps a policy to its compile-time configuration.
+func BuildOptsFor(app *guide.App, p Policy) guide.BuildOpts {
+	opts := guide.BuildOpts{TraceMPI: true, TraceOMP: true}
+	switch p {
+	case Full:
+		opts.StaticInstrument = true
+	case FullOff:
+		opts.StaticInstrument = true
+		opts.Config = vt.MustParseConfig("SYMBOL * OFF\n")
+	case Subset:
+		opts.StaticInstrument = true
+		opts.Config = subsetConfig(app)
+	case None, Dynamic:
+		// No compiled-in subroutine instrumentation.
+	}
+	return opts
+}
+
+// Result is one measured run.
+type Result struct {
+	App     string
+	Policy  Policy
+	CPUs    int
+	Elapsed des.Time
+	// CreateAndInstrument is filled for Dynamic runs (Figure 9).
+	CreateAndInstrument des.Time
+	// TraceBytes is the volume of trace data the run produced.
+	TraceBytes int
+}
+
+// RunPolicy executes one (application, policy, CPU count) cell and returns
+// its measurements. The seed fixes all simulated asynchrony.
+func RunPolicy(mach *machine.Config, app *guide.App, p Policy, cpus int, args map[string]int, seed uint64) (Result, error) {
+	res := Result{App: app.Name, Policy: p, CPUs: cpus}
+	if p == Dynamic {
+		return runDynamic(mach, app, cpus, args, seed)
+	}
+	bin, err := guide.Build(app, BuildOptsFor(app, p))
+	if err != nil {
+		return res, err
+	}
+	s := des.NewScheduler(seed)
+	j, err := guide.Launch(s, mach, bin, guide.LaunchOpts{Procs: cpus, Args: args, CountOnly: true})
+	if err != nil {
+		return res, err
+	}
+	if err := s.Run(); err != nil {
+		return res, err
+	}
+	res.Elapsed = j.MainElapsed()
+	for i := range j.Processes() {
+		res.TraceBytes += j.VT(i).TraceBytes()
+	}
+	return res, nil
+}
+
+// runDynamic measures the Dynamic policy: dynprof spawns the target,
+// instruments the application's subset before the main computation (via
+// insert-file, as Section 4.2 describes) and detaches.
+func runDynamic(mach *machine.Config, app *guide.App, cpus int, args map[string]int, seed uint64) (Result, error) {
+	res := Result{App: app.Name, Policy: Dynamic, CPUs: cpus}
+	s := des.NewScheduler(seed)
+	script := "insert-file subset.list\nstart\nquit\n"
+	var ss *core.Session
+	var sessErr error
+	s.Spawn("dynprof", func(p *des.Proc) {
+		ss, sessErr = core.NewSession(p, core.Config{
+			Machine:   mach,
+			App:       app,
+			Procs:     cpus,
+			Args:      args,
+			CountOnly: true,
+			Files:     map[string]string{"subset.list": strings.Join(app.Subset, "\n")},
+		})
+		if sessErr != nil {
+			return
+		}
+		sessErr = ss.RunScript(p, strings.NewReader(script))
+	})
+	if err := s.Run(); err != nil {
+		return res, err
+	}
+	if sessErr != nil {
+		return res, sessErr
+	}
+	res.Elapsed = ss.Job().MainElapsed()
+	res.CreateAndInstrument = ss.CreateAndInstrumentTime()
+	for i := range ss.Job().Processes() {
+		res.TraceBytes += ss.Job().VT(i).TraceBytes()
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"dynprof/internal/apps"
+	"dynprof/internal/core"
+)
+
+// Render writes the figure as an aligned text table: one row per CPU
+// count, one column per series (the same rows the paper plots).
+func (f *Figure) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(tw, "%s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(tw, "\t%s", s.Label)
+	}
+	fmt.Fprintln(tw)
+	for _, cpus := range f.cpuRows() {
+		fmt.Fprintf(tw, "%d", cpus)
+		for _, s := range f.Series {
+			if v, ok := f.At(s.Label, cpus); ok {
+				fmt.Fprintf(tw, "\t%.4f", v)
+			} else {
+				fmt.Fprintf(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// CSV writes the figure as comma-separated values.
+func (f *Figure) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s", f.XLabel); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(w, ",%s", s.Label)
+	}
+	fmt.Fprintln(w)
+	for _, cpus := range f.cpuRows() {
+		fmt.Fprintf(w, "%d", cpus)
+		for _, s := range f.Series {
+			if v, ok := f.At(s.Label, cpus); ok {
+				fmt.Fprintf(w, ",%.6f", v)
+			} else {
+				fmt.Fprintf(w, ",")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// cpuRows is the sorted union of the series' CPU counts.
+func (f *Figure) cpuRows() []int {
+	seen := map[int]bool{}
+	var rows []int
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.CPUs] {
+				seen[p.CPUs] = true
+				rows = append(rows, p.CPUs)
+			}
+		}
+	}
+	sort.Ints(rows)
+	return rows
+}
+
+// RenderTable1 writes Table 1: the commands accepted by the dynprof tool.
+func RenderTable1(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "# Table 1: The commands accepted by the dynprof tool")
+	fmt.Fprintln(tw, "Command\tShortcut\tDescription")
+	for _, c := range core.Commands() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", c.Name, c.Shortcut, c.Desc)
+	}
+	return tw.Flush()
+}
+
+// RenderTable2 writes Table 2: the ASCI kernel applications.
+func RenderTable2(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "# Table 2: The ASCI kernel applications")
+	fmt.Fprintln(tw, "Name\tType/Lang\tFunctions\tSubset\tDescription")
+	reg := apps.Registry()
+	for _, name := range apps.Names() {
+		d := reg[name]
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\n",
+			d.App.Name, d.App.Lang, len(d.App.Funcs), len(d.App.Subset), d.Text)
+	}
+	return tw.Flush()
+}
+
+// RenderTable3 writes Table 3: the instrumentation policies.
+func RenderTable3(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "# Table 3: The instrumentation policies")
+	fmt.Fprintln(tw, "Policy\tDescription")
+	for _, p := range AllPolicies() {
+		fmt.Fprintf(tw, "%s\t%s\n", p, p.Description())
+	}
+	return tw.Flush()
+}

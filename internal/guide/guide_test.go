@@ -1,0 +1,280 @@
+package guide
+
+import (
+	"testing"
+
+	"dynprof/internal/des"
+	"dynprof/internal/machine"
+	"dynprof/internal/omp"
+	"dynprof/internal/proc"
+	"dynprof/internal/vt"
+)
+
+func toyMPIApp() *App {
+	return &App{
+		Name: "toy",
+		Lang: MPIC,
+		Funcs: []Func{
+			{Name: "toy_compute", Size: 40},
+			{Name: "toy_exchange", Size: 20},
+			{Name: "toy_setup", Size: 10},
+		},
+		Subset:      []string{"toy_compute"},
+		DefaultArgs: map[string]int{"iters": 4},
+		Main: func(c *Ctx) {
+			c.MPI.Init()
+			c.Call("toy_setup", func() { c.T.Work(50_000) })
+			for i := 0; i < c.Arg("iters", 1); i++ {
+				c.Call("toy_compute", func() { c.T.Work(200_000) })
+				c.Call("toy_exchange", func() { c.MPI.Barrier() })
+			}
+			c.MPI.Finalize()
+		},
+	}
+}
+
+func toyOMPApp() *App {
+	return &App{
+		Name:  "toyomp",
+		Lang:  OMPF77,
+		Funcs: []Func{{Name: "omp_kernel", Size: 30}},
+		Main: func(c *Ctx) {
+			for i := 0; i < 3; i++ {
+				c.OMP.Parallel(c.T, "loop", func(t *proc.Thread, id int) {
+					lo, hi := omp.ForStatic(0, 64, id, c.OMP.NumThreads())
+					for k := lo; k < hi; k++ {
+						t.Work(10_000)
+					}
+				})
+			}
+		},
+	}
+}
+
+func runJob(t *testing.T, bin *Binary, n int) *Job {
+	t.Helper()
+	s := des.NewScheduler(21)
+	j, err := Launch(s, machine.IBMPower3Cluster(), bin, LaunchOpts{Procs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Done() {
+		t.Fatal("job did not finish")
+	}
+	return j
+}
+
+func TestBuildAddsRuntimeSymbols(t *testing.T) {
+	bin, err := Build(toyMPIApp(), BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sym := range []string{"MPI_Init", "MPI_Finalize", "VT_confsync", vt.BreakpointSymbol, "toy_compute"} {
+		if _, ok := bin.template.Lookup(sym); !ok {
+			t.Errorf("binary lacks symbol %q", sym)
+		}
+	}
+	ompBin, err := Build(toyOMPApp(), BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ompBin.template.Lookup("VT_init"); !ok {
+		t.Error("OpenMP binary lacks VT_init")
+	}
+	if _, ok := ompBin.template.Lookup("MPI_Init"); ok {
+		t.Error("OpenMP binary should not carry MPI_Init")
+	}
+}
+
+func TestBuildRequiresMain(t *testing.T) {
+	if _, err := Build(&App{Name: "x", Lang: MPIC}, BuildOpts{}); err == nil {
+		t.Fatal("Build accepted an app without main")
+	}
+}
+
+func TestStaticInstrumentationRecordsEvents(t *testing.T) {
+	bin, err := Build(toyMPIApp(), BuildOpts{StaticInstrument: true, TraceMPI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := runJob(t, bin, 2)
+	var enters, exits int
+	for _, e := range j.Collector().Events() {
+		switch e.Kind {
+		case vt.Enter:
+			enters++
+		case vt.Exit:
+			exits++
+		}
+	}
+	// Per rank: 1 setup + 4 compute + 4 exchange = 9 enters.
+	if enters != 18 || exits != 18 {
+		t.Fatalf("enters=%d exits=%d, want 18/18", enters, exits)
+	}
+}
+
+func TestNonePolicyRecordsNothing(t *testing.T) {
+	bin, err := Build(toyMPIApp(), BuildOpts{StaticInstrument: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := runJob(t, bin, 2)
+	for _, e := range j.Collector().Events() {
+		if e.Kind == vt.Enter || e.Kind == vt.Exit {
+			t.Fatalf("uninstrumented binary recorded %+v", e)
+		}
+	}
+}
+
+func TestFullOffSlowerThanNoneButSilent(t *testing.T) {
+	full, err := Build(toyMPIApp(), BuildOpts{StaticInstrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offCfg := vt.MustParseConfig("SYMBOL * OFF")
+	fullOff, err := Build(toyMPIApp(), BuildOpts{StaticInstrument: true, Config: offCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := Build(toyMPIApp(), BuildOpts{StaticInstrument: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := map[string]int{"iters": 400}
+	elapsed := func(bin *Binary) des.Time {
+		s := des.NewScheduler(21)
+		j, err := Launch(s, machine.IBMPower3Cluster(), bin, LaunchOpts{Procs: 2, Args: args})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return j.MainElapsed()
+	}
+	tFull, tOff, tNone := elapsed(full), elapsed(fullOff), elapsed(none)
+	if !(tFull > tOff && tOff > tNone) {
+		t.Fatalf("want Full > Full-Off > None, got %v %v %v", tFull, tOff, tNone)
+	}
+	// Full-Off must record no subroutine events.
+	s := des.NewScheduler(21)
+	j, _ := Launch(s, machine.IBMPower3Cluster(), fullOff, LaunchOpts{Procs: 2, Args: args})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range j.Collector().Events() {
+		if e.Kind == vt.Enter {
+			t.Fatal("Full-Off recorded an Enter event")
+		}
+	}
+}
+
+func TestSubsetConfigRecordsOnlySubset(t *testing.T) {
+	cfg := vt.MustParseConfig("SYMBOL * OFF\nSYMBOL toy_compute ON")
+	bin, err := Build(toyMPIApp(), BuildOpts{StaticInstrument: true, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := runJob(t, bin, 2)
+	for _, e := range j.Collector().Events() {
+		if e.Kind == vt.Enter || e.Kind == vt.Exit {
+			if name := j.Collector().FuncName(e.Rank, e.ID); name != "toy_compute" {
+				t.Fatalf("non-subset function recorded: %s", name)
+			}
+		}
+	}
+}
+
+func TestHoldAndRelease(t *testing.T) {
+	bin, err := Build(toyMPIApp(), BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := des.NewScheduler(21)
+	j, err := Launch(s, machine.IBMPower3Cluster(), bin, LaunchOpts{Procs: 2, Hold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var releasedAt des.Time
+	s.Spawn("instrumenter", func(p *des.Proc) {
+		p.Advance(50 * des.Millisecond)
+		releasedAt = p.Now()
+		j.Release()
+		j.WaitAll(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Done() {
+		t.Fatal("job did not finish after release")
+	}
+	if releasedAt != 50*des.Millisecond {
+		t.Fatalf("released at %v", releasedAt)
+	}
+	// Ranks registered on the world only after release, and completed.
+	if j.World().Rank(0).MainElapsed() <= 0 {
+		t.Fatal("rank 0 did no main work")
+	}
+}
+
+func TestOMPJobScalesDown(t *testing.T) {
+	bin, err := Build(toyOMPApp(), BuildOpts{TraceOMP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := func(threads int) des.Time {
+		s := des.NewScheduler(21)
+		j, err := Launch(s, machine.IBMPower3Cluster(), bin, LaunchOpts{Procs: threads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return j.MainElapsed()
+	}
+	t1, t4 := elapsed(1), elapsed(4)
+	if float64(t1)/float64(t4) < 2.5 {
+		t.Fatalf("OMP speedup too small: t1=%v t4=%v", t1, t4)
+	}
+}
+
+func TestOMPJobTracesRegions(t *testing.T) {
+	bin, err := Build(toyOMPApp(), BuildOpts{TraceOMP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := runJob(t, bin, 4)
+	forks := 0
+	for _, e := range j.Collector().Events() {
+		if e.Kind == vt.RegionFork {
+			forks++
+		}
+	}
+	if forks != 3 {
+		t.Fatalf("region forks = %d, want 3", forks)
+	}
+}
+
+func TestOMPRefusesTooManyThreads(t *testing.T) {
+	bin, err := Build(toyOMPApp(), BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := des.NewScheduler(21)
+	if _, err := Launch(s, machine.IBMPower3Cluster(), bin, LaunchOpts{Procs: 9}); err == nil {
+		t.Fatal("9 threads on an 8-way node should fail")
+	}
+}
+
+func TestLangStrings(t *testing.T) {
+	if MPIC.String() != "MPI/C" || MPIF77.String() != "MPI/F77" || OMPF77.String() != "OMP/F77" {
+		t.Fatal("Lang strings wrong")
+	}
+	if !MPIC.IsMPI() || OMPF77.IsMPI() {
+		t.Fatal("IsMPI wrong")
+	}
+}

@@ -1,0 +1,215 @@
+package guide
+
+import (
+	"fmt"
+
+	"dynprof/internal/des"
+	"dynprof/internal/machine"
+	"dynprof/internal/mpi"
+	"dynprof/internal/omp"
+	"dynprof/internal/proc"
+	"dynprof/internal/vt"
+)
+
+// LaunchOpts configures a job launch (the poe invocation).
+type LaunchOpts struct {
+	// Procs is the number of MPI ranks, or OpenMP threads for an OMP
+	// binary (which always runs as one process on one node).
+	Procs int
+	// Hold creates the job suspended at its first instruction, as an
+	// instrumenter's spawn does; call Job.Release to start it.
+	Hold bool
+	// Args overrides entries of the application's default input deck.
+	Args map[string]int
+	// Collector receives the job's trace; one is created if nil.
+	Collector *vt.Collector
+	// CountOnly drops trace event payloads while keeping costs and
+	// statistics (for large experiment sweeps).
+	CountOnly bool
+}
+
+// Job is a launched (possibly held) run of a binary on the machine.
+type Job struct {
+	bin   *Binary
+	s     *des.Scheduler
+	mach  *machine.Config
+	col   *vt.Collector
+	place *machine.Placement
+	procs []*proc.Process
+	vts   []*vt.Ctx
+	world *mpi.World // nil for OpenMP binaries
+
+	startGate  *des.Gate
+	released   bool
+	countOnly  bool
+	ompElapsed des.Time
+}
+
+// Launch places and starts (or holds) a run of bin with n processes.
+func Launch(s *des.Scheduler, mach *machine.Config, bin *Binary, opts LaunchOpts) (*Job, error) {
+	n := opts.Procs
+	if n <= 0 {
+		return nil, fmt.Errorf("guide: launch with %d processes", n)
+	}
+	col := opts.Collector
+	if col == nil {
+		col = vt.NewCollector()
+	}
+	args := make(map[string]int, len(bin.app.DefaultArgs)+len(opts.Args))
+	for k, v := range bin.app.DefaultArgs {
+		args[k] = v
+	}
+	for k, v := range opts.Args {
+		args[k] = v
+	}
+	j := &Job{
+		bin:       bin,
+		s:         s,
+		mach:      mach,
+		col:       col,
+		startGate: des.NewGate(bin.app.Name+".start", !opts.Hold),
+		released:  !opts.Hold,
+		countOnly: opts.CountOnly,
+	}
+	if bin.app.Lang.IsMPI() {
+		if err := j.launchMPI(n, args); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := j.launchOMP(n, args); err != nil {
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+func (j *Job) launchMPI(n int, args map[string]int) error {
+	place, err := machine.Pack(j.mach, n)
+	if err != nil {
+		return err
+	}
+	j.place = place
+	j.world = mpi.NewWorld(j.s, place)
+	for r := 0; r < n; r++ {
+		r := r
+		v := vt.NewCtx(vt.Options{
+			Rank:      r,
+			Config:    j.bin.opts.Config,
+			Collector: j.col,
+			TraceMPI:  j.bin.opts.TraceMPI,
+			CountOnly: j.countOnly,
+		})
+		j.vts = append(j.vts, v)
+		img := j.bin.loadImage(v)
+		pr := proc.NewProcess(j.s, j.mach, fmt.Sprintf("%s.%d", j.bin.app.Name, r), r, place.NodeOf(r), img)
+		j.procs = append(j.procs, pr)
+		pr.Start(func(th *proc.Thread) {
+			th.Block(func(p *des.Proc) { p.Await(j.startGate) })
+			c := j.world.Register(r, th, &vt.MPIAdapter{C: v})
+			j.bin.app.Main(&Ctx{T: th, MPI: c, VT: v, Args: args})
+		})
+	}
+	return nil
+}
+
+func (j *Job) launchOMP(threads int, args map[string]int) error {
+	place, err := machine.OneNode(j.mach, threads)
+	if err != nil {
+		return err
+	}
+	j.place = place
+	v := vt.NewCtx(vt.Options{
+		Rank:      0,
+		Config:    j.bin.opts.Config,
+		Collector: j.col,
+		TraceOMP:  j.bin.opts.TraceOMP,
+		CountOnly: j.countOnly,
+	})
+	j.vts = append(j.vts, v)
+	img := j.bin.loadImage(v)
+	pr := proc.NewProcess(j.s, j.mach, j.bin.app.Name, 0, 0, img)
+	j.procs = append(j.procs, pr)
+	pr.Start(func(master *proc.Thread) {
+		master.Block(func(p *des.Proc) { p.Await(j.startGate) })
+		// The Guide compiler statically inserts a call to VT_init at the
+		// beginning of main; its exit probe is where dynprof plants the
+		// OpenMP callback + spin (Section 3.4).
+		master.Call("VT_init", func() { v.Initialize(master) })
+		start := master.Now()
+		suspAtStart := master.SuspendedTime()
+		rt := omp.New(pr, master, threads, &vt.OMPAdapter{C: v})
+		j.bin.app.Main(&Ctx{T: master, OMP: rt, VT: v, Args: args})
+		rt.Shutdown()
+		master.Sync()
+		j.ompElapsed = (master.Now() - start) - (master.SuspendedTime() - suspAtStart)
+		v.Flush() // trace dump at program termination
+	})
+	return nil
+}
+
+// Release starts a held job (dynprof's "start" command).
+func (j *Job) Release() {
+	if j.released {
+		return
+	}
+	j.released = true
+	j.startGate.Set(true)
+}
+
+// Released reports whether the job has been started.
+func (j *Job) Released() bool { return j.released }
+
+// WaitAll blocks p until every process of the job has exited.
+func (j *Job) WaitAll(p *des.Proc) {
+	for _, pr := range j.procs {
+		pr.WaitExit(p)
+	}
+}
+
+// Done reports whether all processes have exited.
+func (j *Job) Done() bool {
+	for _, pr := range j.procs {
+		if !pr.Exited() {
+			return false
+		}
+	}
+	return true
+}
+
+// Binary returns the binary the job runs.
+func (j *Job) Binary() *Binary { return j.bin }
+
+// Collector returns the job's trace collector.
+func (j *Job) Collector() *vt.Collector { return j.col }
+
+// Placement returns the job's rank placement.
+func (j *Job) Placement() *machine.Placement { return j.place }
+
+// Processes returns the job's processes in rank order.
+func (j *Job) Processes() []*proc.Process { return j.procs }
+
+// VT returns process i's instrumentation library instance.
+func (j *Job) VT(i int) *vt.Ctx { return j.vts[i] }
+
+// World returns the MPI world, or nil for an OpenMP binary.
+func (j *Job) World() *mpi.World { return j.world }
+
+// MainElapsed reports the job's main-computation time: the maximum over
+// MPI ranks of the MPI_Init→MPI_Finalize interval, or the OpenMP main's
+// elapsed time — in both cases excluding instrumenter-imposed suspensions.
+// The job must have finished.
+func (j *Job) MainElapsed() des.Time {
+	if !j.Done() {
+		panic("guide: MainElapsed on a running job")
+	}
+	if j.world == nil {
+		return j.ompElapsed
+	}
+	var max des.Time
+	for r := 0; r < j.world.Size(); r++ {
+		if e := j.world.Rank(r).MainElapsed(); e > max {
+			max = e
+		}
+	}
+	return max
+}

@@ -1,0 +1,58 @@
+package image
+
+import (
+	"fmt"
+
+	"dynprof/internal/isa"
+)
+
+// maxSteps bounds an interpreter walk; exceeding it means a patching bug
+// created a jump cycle, which should fail loudly.
+const maxSteps = 100_000
+
+// ExecEntry interprets a function's entry region — the entry probe slot
+// (possibly displaced into a trampoline chain) and any statically inserted
+// prologue snippet calls — up to the Body marker. It returns the cycles
+// consumed by the instruction words; snippets charge their own additional
+// cost through ctx.
+func (img *Image) ExecEntry(sym *Symbol, ctx ExecCtx) int64 {
+	return img.walk(sym.Entry, ctx, sym.Name)
+}
+
+// ExecExit interprets a function's exit region — the exit probe slot and
+// statically inserted epilogue snippet calls — through the Ret.
+func (img *Image) ExecExit(sym *Symbol, exitIndex int, ctx ExecCtx) int64 {
+	if exitIndex < 0 || exitIndex >= len(sym.Exits) {
+		panic(fmt.Sprintf("image %s: %s has no exit %d", img.name, sym.Name, exitIndex))
+	}
+	return img.walk(sym.Exits[exitIndex], ctx, sym.Name)
+}
+
+// walk interprets words starting at addr until a Body or Ret terminator.
+func (img *Image) walk(at Addr, ctx ExecCtx, fname string) int64 {
+	var cycles int64
+	for step := 0; ; step++ {
+		if step >= maxSteps {
+			panic(fmt.Sprintf("image %s: runaway execution in %s at %d (jump cycle from bad patch?)", img.name, fname, at))
+		}
+		w := img.Word(at)
+		cycles += w.Cost()
+		switch w.Op {
+		case isa.Body, isa.Ret:
+			return cycles
+		case isa.Jmp:
+			at = Addr(w.Arg)
+		case isa.SnippetCall:
+			fn, ok := img.snippets[w.Arg]
+			if !ok {
+				panic(fmt.Sprintf("image %s: unbound snippet %d in %s", img.name, w.Arg, fname))
+			}
+			fn(ctx)
+			at++
+		case isa.Illegal:
+			panic(fmt.Sprintf("image %s: illegal instruction at %d in %s (freed trampoline executed?)", img.name, at, fname))
+		default:
+			at++
+		}
+	}
+}

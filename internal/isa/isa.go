@@ -1,0 +1,96 @@
+// Package isa defines the simulated instruction set used by process
+// images. It is deliberately tiny: just enough structure for subroutine
+// entry/exit probe points, trampoline sequences and register save/restore
+// semantics to be represented as real, patchable instruction words with
+// per-opcode cycle costs.
+package isa
+
+import "fmt"
+
+// Op is a simulated opcode.
+type Op uint8
+
+const (
+	// Nop is a no-op. Probe slots at function entries and exits are
+	// emitted as Nops so a patcher can displace them with a Jmp.
+	Nop Op = iota
+	// Work represents a block of application instructions; Arg carries
+	// additional cycles beyond the base cost.
+	Work
+	// Body marks the end of a function's entry (prologue) region; the
+	// interpreter stops an entry-phase walk here and transfers to the
+	// function's native body.
+	Body
+	// Jmp transfers control to the address in Arg.
+	Jmp
+	// SaveRegs models a base trampoline's register-save sequence.
+	SaveRegs
+	// RestoreRegs models a base trampoline's register-restore sequence.
+	RestoreRegs
+	// SnippetCall invokes the instrumentation snippet registered under
+	// the id in Arg (a mini-trampoline's payload, or a statically
+	// compiled-in call to the instrumentation library).
+	SnippetCall
+	// Ret returns from the function; the interpreter stops an exit-phase
+	// walk here.
+	Ret
+	// Illegal marks unreachable or freed words; executing one panics.
+	Illegal
+)
+
+// opInfo holds per-opcode metadata.
+var opInfo = [...]struct {
+	name   string
+	cycles int64
+}{
+	Nop:         {"nop", 1},
+	Work:        {"work", 1},
+	Body:        {"body", 0},
+	Jmp:         {"jmp", 2},
+	SaveRegs:    {"saveregs", 34},
+	RestoreRegs: {"restoreregs", 34},
+	SnippetCall: {"snippetcall", 12},
+	Ret:         {"ret", 3},
+	Illegal:     {"illegal", 0},
+}
+
+// Cycles reports the base execution cost of the opcode in processor
+// cycles. Work adds its Arg on top; snippet bodies charge their own cost.
+func (o Op) Cycles() int64 {
+	if int(o) >= len(opInfo) {
+		panic(fmt.Sprintf("isa: unknown opcode %d", o))
+	}
+	return opInfo[o].cycles
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if int(o) >= len(opInfo) {
+		return fmt.Sprintf("op(%d)", o)
+	}
+	return opInfo[o].name
+}
+
+// Word is one instruction slot in a simulated image.
+type Word struct {
+	Op  Op
+	Arg int64
+}
+
+// Cost reports the execution cost of the word in cycles.
+func (w Word) Cost() int64 {
+	if w.Op == Work {
+		return w.Op.Cycles() + w.Arg
+	}
+	return w.Op.Cycles()
+}
+
+// String renders the word for debugging, e.g. "jmp 1024".
+func (w Word) String() string {
+	switch w.Op {
+	case Jmp, SnippetCall, Work:
+		return fmt.Sprintf("%s %d", w.Op, w.Arg)
+	default:
+		return w.Op.String()
+	}
+}

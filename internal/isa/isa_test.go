@@ -1,0 +1,75 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeCosts(t *testing.T) {
+	// Every defined opcode has a non-negative cost; control-flow ops are
+	// cheap, register save/restore is the trampoline's dominant cost.
+	for _, op := range []Op{Nop, Work, Body, Jmp, SaveRegs, RestoreRegs, SnippetCall, Ret, Illegal} {
+		if op.Cycles() < 0 {
+			t.Errorf("%v has negative cost", op)
+		}
+	}
+	if SaveRegs.Cycles() <= Jmp.Cycles() {
+		t.Error("register save should dominate a jump")
+	}
+	if Body.Cycles() != 0 {
+		t.Error("the Body marker is not an executed instruction")
+	}
+}
+
+func TestWorkCostIncludesArg(t *testing.T) {
+	w := Word{Op: Work, Arg: 100}
+	if w.Cost() != Work.Cycles()+100 {
+		t.Fatalf("work cost = %d", w.Cost())
+	}
+	// Non-Work args don't alter cost.
+	j := Word{Op: Jmp, Arg: 99999}
+	if j.Cost() != Jmp.Cycles() {
+		t.Fatalf("jmp cost = %d", j.Cost())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := map[string]string{
+		Nop.String():                           "nop",
+		SnippetCall.String():                   "snippetcall",
+		Word{Op: Jmp, Arg: 12}.String():        "jmp 12",
+		Word{Op: SaveRegs}.String():            "saveregs",
+		Word{Op: Work, Arg: 5}.String():        "work 5",
+		Word{Op: SnippetCall, Arg: 7}.String(): "snippetcall 7",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+	if Op(200).String() == "" {
+		t.Error("unknown opcode should still render")
+	}
+}
+
+func TestUnknownOpcodeCyclesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cycles on an unknown opcode did not panic")
+		}
+	}()
+	_ = Op(200).Cycles()
+}
+
+// Property: word cost is always >= the opcode's base cost for
+// non-negative args.
+func TestWordCostLowerBoundProperty(t *testing.T) {
+	f := func(rawOp uint8, rawArg uint16) bool {
+		op := Op(rawOp % 9)
+		w := Word{Op: op, Arg: int64(rawArg)}
+		return w.Cost() >= op.Cycles()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package machine models the hardware the paper's experiments ran on: a
+// cluster of SMP nodes connected by a switch. It converts instruction
+// cycles into virtual time and prices message transfers, and provides the
+// two machine presets used in the evaluation (the IBM Power3/Colony system
+// and the Intel IA32 Linux cluster).
+package machine
+
+import (
+	"fmt"
+
+	"dynprof/internal/des"
+)
+
+// Network holds the LogGP-style parameters of the cluster interconnect and
+// of intra-node shared-memory transfers.
+type Network struct {
+	// Latency is the one-way wire latency between two nodes (L).
+	Latency des.Time
+	// SendOverhead is CPU time consumed on the sender per message (o_s).
+	SendOverhead des.Time
+	// RecvOverhead is CPU time consumed on the receiver per message (o_r).
+	RecvOverhead des.Time
+	// Bandwidth is the per-link bandwidth in bytes per virtual second.
+	Bandwidth float64
+	// ShmLatency is the latency for messages between ranks on one node.
+	ShmLatency des.Time
+	// ShmBandwidth is the intra-node bandwidth in bytes per second.
+	ShmBandwidth float64
+}
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Name identifies the preset (used in experiment output).
+	Name string
+	// Nodes is the number of SMP nodes.
+	Nodes int
+	// CPUsPerNode is the number of processors per node.
+	CPUsPerNode int
+	// ClockHz is the processor clock rate in cycles per virtual second.
+	ClockHz float64
+	// Net is the interconnect model.
+	Net Network
+	// DaemonLatency is the base one-way latency for control messages
+	// between an instrumenter and a node's DPCL daemons. Control traffic
+	// shares the interconnect but passes through daemon processes, so it
+	// is priced separately (and higher) than application messages.
+	DaemonLatency des.Time
+	// DaemonJitter is the relative jitter (0..1) applied to daemon
+	// message delivery, modelling DPCL's asynchrony: "it is unlikely that
+	// inserted code snippets become active in all processes at the same
+	// time".
+	DaemonJitter float64
+}
+
+// IBMPower3Cluster returns the paper's primary platform: 144 SMP nodes,
+// each with eight 375 MHz Power3 processors and 4 GB of shared memory,
+// connected by IBM Colony switches, running AIX 5.1 with POE.
+func IBMPower3Cluster() *Config {
+	return &Config{
+		Name:        "IBM Power3 SMP cluster (Colony)",
+		Nodes:       144,
+		CPUsPerNode: 8,
+		ClockHz:     375e6,
+		Net: Network{
+			Latency:      21 * des.Microsecond,
+			SendOverhead: 3 * des.Microsecond,
+			RecvOverhead: 3 * des.Microsecond,
+			Bandwidth:    350e6,
+			ShmLatency:   2 * des.Microsecond,
+			ShmBandwidth: 1200e6,
+		},
+		DaemonLatency: 220 * des.Microsecond,
+		DaemonJitter:  0.35,
+	}
+}
+
+// IA32LinuxCluster returns the secondary platform of Section 5: a 16-node
+// Intel Pentium III IA32 Linux cluster (Figure 8c).
+func IA32LinuxCluster() *Config {
+	return &Config{
+		Name:        "Intel IA32 Linux cluster (Pentium III)",
+		Nodes:       16,
+		CPUsPerNode: 1,
+		ClockHz:     800e6,
+		Net: Network{
+			Latency:      55 * des.Microsecond,
+			SendOverhead: 6 * des.Microsecond,
+			RecvOverhead: 6 * des.Microsecond,
+			Bandwidth:    90e6,
+			ShmLatency:   2 * des.Microsecond,
+			ShmBandwidth: 800e6,
+		},
+		DaemonLatency: 300 * des.Microsecond,
+		DaemonJitter:  0.35,
+	}
+}
+
+// TotalCPUs reports the machine's processor count.
+func (c *Config) TotalCPUs() int { return c.Nodes * c.CPUsPerNode }
+
+// CyclesToTime converts a processor cycle count into virtual time at this
+// machine's clock rate.
+func (c *Config) CyclesToTime(cycles int64) des.Time {
+	return des.Time(float64(cycles) / c.ClockHz * float64(des.Second))
+}
+
+// TimeToCycles converts virtual time into processor cycles (rounded down).
+func (c *Config) TimeToCycles(t des.Time) int64 {
+	return int64(t.Seconds() * c.ClockHz)
+}
+
+// TransferTime prices moving bytes from srcNode to dstNode: wire time for
+// inter-node messages, shared memory for intra-node ones. Per-message CPU
+// overheads are charged separately by the MPI layer via SendOverhead and
+// RecvOverhead.
+func (c *Config) TransferTime(srcNode, dstNode, bytes int) des.Time {
+	if bytes < 0 {
+		panic("machine: negative message size")
+	}
+	if srcNode == dstNode {
+		return c.Net.ShmLatency + des.Time(float64(bytes)/c.Net.ShmBandwidth*float64(des.Second))
+	}
+	return c.Net.Latency + des.Time(float64(bytes)/c.Net.Bandwidth*float64(des.Second))
+}
+
+// Slot is a processor assignment: which node and which CPU on that node.
+type Slot struct {
+	Node int
+	CPU  int
+}
+
+// Placement maps application ranks (or threads) to processor slots.
+type Placement struct {
+	cfg   *Config
+	slots []Slot
+}
+
+// Pack places n ranks on the machine in packed (block) order, filling each
+// node's CPUs before moving to the next node — POE's default allocation.
+func Pack(cfg *Config, n int) (*Placement, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("machine: cannot place %d ranks", n)
+	}
+	if n > cfg.TotalCPUs() {
+		return nil, fmt.Errorf("machine: %d ranks exceed %d CPUs on %s", n, cfg.TotalCPUs(), cfg.Name)
+	}
+	p := &Placement{cfg: cfg, slots: make([]Slot, n)}
+	for r := 0; r < n; r++ {
+		p.slots[r] = Slot{Node: r / cfg.CPUsPerNode, CPU: r % cfg.CPUsPerNode}
+	}
+	return p, nil
+}
+
+// OneNode places n threads on CPUs of a single node. It fails if the node
+// has fewer than n CPUs — the restriction that confined the paper's Umt98
+// (OpenMP) runs to at most 8 processors.
+func OneNode(cfg *Config, n int) (*Placement, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("machine: cannot place %d threads", n)
+	}
+	if n > cfg.CPUsPerNode {
+		return nil, fmt.Errorf("machine: %d threads exceed %d CPUs per node on %s", n, cfg.CPUsPerNode, cfg.Name)
+	}
+	p := &Placement{cfg: cfg, slots: make([]Slot, n)}
+	for t := 0; t < n; t++ {
+		p.slots[t] = Slot{Node: 0, CPU: t}
+	}
+	return p, nil
+}
+
+// Size reports the number of placed ranks.
+func (p *Placement) Size() int { return len(p.slots) }
+
+// Slot returns the processor assignment of rank r.
+func (p *Placement) Slot(r int) Slot { return p.slots[r] }
+
+// NodeOf returns the node hosting rank r.
+func (p *Placement) NodeOf(r int) int { return p.slots[r].Node }
+
+// Nodes returns the distinct nodes used by the placement, in order.
+func (p *Placement) Nodes() []int {
+	seen := make(map[int]bool)
+	var nodes []int
+	for _, s := range p.slots {
+		if !seen[s.Node] {
+			seen[s.Node] = true
+			nodes = append(nodes, s.Node)
+		}
+	}
+	return nodes
+}
+
+// Config returns the machine this placement lives on.
+func (p *Placement) Config() *Config { return p.cfg }

@@ -1,0 +1,121 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynprof/internal/des"
+)
+
+func TestPresets(t *testing.T) {
+	ibm := IBMPower3Cluster()
+	if ibm.TotalCPUs() != 144*8 {
+		t.Fatalf("IBM total CPUs = %d", ibm.TotalCPUs())
+	}
+	if ibm.ClockHz != 375e6 {
+		t.Fatalf("IBM clock = %v", ibm.ClockHz)
+	}
+	ia32 := IA32LinuxCluster()
+	if ia32.Nodes != 16 || ia32.CPUsPerNode != 1 {
+		t.Fatalf("IA32 shape = %d x %d", ia32.Nodes, ia32.CPUsPerNode)
+	}
+}
+
+func TestCyclesToTime(t *testing.T) {
+	c := IBMPower3Cluster()
+	// 375e6 cycles at 375 MHz is exactly one second.
+	if got := c.CyclesToTime(375e6); got != des.Second {
+		t.Fatalf("CyclesToTime(375e6) = %v, want 1s", got)
+	}
+	if got := c.TimeToCycles(des.Second); got != 375e6 {
+		t.Fatalf("TimeToCycles(1s) = %d", got)
+	}
+	if got := c.CyclesToTime(0); got != 0 {
+		t.Fatalf("CyclesToTime(0) = %v", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	c := IBMPower3Cluster()
+	remote := c.TransferTime(0, 1, 0)
+	if remote != c.Net.Latency {
+		t.Fatalf("zero-byte remote transfer = %v, want latency %v", remote, c.Net.Latency)
+	}
+	local := c.TransferTime(2, 2, 0)
+	if local != c.Net.ShmLatency {
+		t.Fatalf("zero-byte local transfer = %v, want %v", local, c.Net.ShmLatency)
+	}
+	if local >= remote {
+		t.Fatal("intra-node transfer should be cheaper than inter-node")
+	}
+	small := c.TransferTime(0, 1, 8)
+	big := c.TransferTime(0, 1, 1<<20)
+	if big <= small {
+		t.Fatal("transfer time must grow with message size")
+	}
+}
+
+func TestTransferTimeMonotoneProperty(t *testing.T) {
+	c := IA32LinuxCluster()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return c.TransferTime(0, 1, x) <= c.TransferTime(0, 1, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackPlacement(t *testing.T) {
+	c := IBMPower3Cluster()
+	p, err := Pack(c, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 20 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	// Packed: first 8 ranks on node 0, next 8 on node 1, last 4 on node 2.
+	if p.NodeOf(0) != 0 || p.NodeOf(7) != 0 || p.NodeOf(8) != 1 || p.NodeOf(19) != 2 {
+		t.Fatalf("packed placement wrong: %v %v %v %v",
+			p.NodeOf(0), p.NodeOf(7), p.NodeOf(8), p.NodeOf(19))
+	}
+	if s := p.Slot(9); s.Node != 1 || s.CPU != 1 {
+		t.Fatalf("slot(9) = %+v", s)
+	}
+	nodes := p.Nodes()
+	if len(nodes) != 3 || nodes[0] != 0 || nodes[2] != 2 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	c := IA32LinuxCluster()
+	if _, err := Pack(c, 0); err == nil {
+		t.Error("Pack(0) should fail")
+	}
+	if _, err := Pack(c, c.TotalCPUs()+1); err == nil {
+		t.Error("oversubscribed Pack should fail")
+	}
+}
+
+func TestOneNodePlacement(t *testing.T) {
+	c := IBMPower3Cluster()
+	p, err := OneNode(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if p.NodeOf(i) != 0 || p.Slot(i).CPU != i {
+			t.Fatalf("slot(%d) = %+v", i, p.Slot(i))
+		}
+	}
+	// More threads than CPUs on one node must fail: this is the paper's
+	// reason Umt98 runs stop at 8 processors.
+	if _, err := OneNode(c, 9); err == nil {
+		t.Error("OneNode(9) on an 8-way node should fail")
+	}
+}

@@ -1,0 +1,80 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: with an arbitrary interleaving of tagged sends, a receiver
+// posting tag-specific receives gets exactly the messages of each tag, in
+// per-tag send order.
+func TestTagMatchingProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		tags := make([]int, len(raw))
+		perTag := map[int][]int{}
+		for i, r := range raw {
+			tag := int(r % 3)
+			tags[i] = tag
+			perTag[tag] = append(perTag[tag], i)
+		}
+		ok := true
+		runWorld(t, 2, nil, func(c *Ctx) {
+			if c.Rank() == 0 {
+				for i, tag := range tags {
+					c.Send(1, tag, 8, float64(i))
+				}
+				return
+			}
+			// Receive per tag, in tag order 0,1,2: each tag's stream must
+			// arrive in its own send order.
+			for tag := 0; tag < 3; tag++ {
+				for _, wantSeq := range perTag[tag] {
+					m := c.Recv(0, tag)
+					if m.Payload.(float64) != float64(wantSeq) {
+						ok = false
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedWildcardAndTagged(t *testing.T) {
+	runWorld(t, 2, nil, func(c *Ctx) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, 8, "tagged")
+			c.Send(1, 9, 8, "other")
+			return
+		}
+		// A tagged receive must skip the non-matching queued message.
+		m := c.Recv(0, 9)
+		if m.Payload.(string) != "other" {
+			t.Errorf("tagged recv got %v", m.Payload)
+		}
+		m = c.Recv(0, AnyTag)
+		if m.Payload.(string) != "tagged" {
+			t.Errorf("wildcard recv got %v", m.Payload)
+		}
+	})
+}
+
+func TestSelfSend(t *testing.T) {
+	runWorld(t, 2, nil, func(c *Ctx) {
+		// Eager self-send: post receive after send, same rank.
+		c.Send(c.Rank(), 3, 8, float64(c.Rank()))
+		m := c.Recv(c.Rank(), 3)
+		if m.Payload.(float64) != float64(c.Rank()) {
+			t.Errorf("self-send payload %v", m.Payload)
+		}
+	})
+}

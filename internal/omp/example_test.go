@@ -1,0 +1,20 @@
+package omp_test
+
+import (
+	"fmt"
+
+	"dynprof/internal/omp"
+)
+
+// ForStatic computes the block each team member owns under the static
+// schedule — 10 iterations over 3 threads.
+func ExampleForStatic() {
+	for id := 0; id < 3; id++ {
+		lo, hi := omp.ForStatic(0, 10, id, 3)
+		fmt.Printf("thread %d: [%d,%d)\n", id, lo, hi)
+	}
+	// Output:
+	// thread 0: [0,4)
+	// thread 1: [4,7)
+	// thread 2: [7,10)
+}

@@ -1,0 +1,72 @@
+package vgv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynprof/internal/des"
+	"dynprof/internal/vt"
+)
+
+func TestCallGraphEdges(t *testing.T) {
+	// main -> a (twice), a -> b (once); c at root.
+	names := map[int32]string{0: "main", 1: "a", 2: "b", 3: "c"}
+	us := func(v int) des.Time { return des.Time(v) * des.Microsecond }
+	col := mkTrace([]vt.Event{
+		{At: us(0), Kind: vt.Enter, ID: 0},
+		{At: us(10), Kind: vt.Enter, ID: 1},
+		{At: us(20), Kind: vt.Enter, ID: 2},
+		{At: us(30), Kind: vt.Exit, ID: 2},
+		{At: us(40), Kind: vt.Exit, ID: 1},
+		{At: us(50), Kind: vt.Enter, ID: 1},
+		{At: us(60), Kind: vt.Exit, ID: 1},
+		{At: us(70), Kind: vt.Exit, ID: 0},
+		{At: us(80), Kind: vt.Enter, ID: 3},
+		{At: us(90), Kind: vt.Exit, ID: 3},
+	}, names)
+	p := Analyze(col)
+	find := func(caller, callee string) *CallEdge {
+		for i := range p.CallGraph {
+			if p.CallGraph[i].Caller == caller && p.CallGraph[i].Callee == callee {
+				return &p.CallGraph[i]
+			}
+		}
+		return nil
+	}
+	ma := find("main", "a")
+	if ma == nil || ma.Calls != 2 || ma.Time != us(40) {
+		t.Fatalf("main->a = %+v", ma)
+	}
+	ab := find("a", "b")
+	if ab == nil || ab.Calls != 1 || ab.Time != us(10) {
+		t.Fatalf("a->b = %+v", ab)
+	}
+	if rc := find("(root)", "c"); rc == nil || rc.Calls != 1 {
+		t.Fatalf("(root)->c = %+v", rc)
+	}
+	if rm := find("(root)", "main"); rm == nil {
+		t.Fatal("(root)->main missing")
+	}
+	var buf bytes.Buffer
+	if err := p.WriteCallGraph(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "main") || !strings.Contains(buf.String(), "(root)") {
+		t.Fatalf("call graph render wrong:\n%s", buf.String())
+	}
+}
+
+func TestCallGraphSortedByTime(t *testing.T) {
+	names := map[int32]string{0: "cheap", 1: "expensive"}
+	col := mkTrace([]vt.Event{
+		{At: 0, Kind: vt.Enter, ID: 0},
+		{At: 10, Kind: vt.Exit, ID: 0},
+		{At: 20, Kind: vt.Enter, ID: 1},
+		{At: 1000, Kind: vt.Exit, ID: 1},
+	}, names)
+	p := Analyze(col)
+	if len(p.CallGraph) != 2 || p.CallGraph[0].Callee != "expensive" {
+		t.Fatalf("call graph order: %+v", p.CallGraph)
+	}
+}

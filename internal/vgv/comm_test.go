@@ -1,0 +1,58 @@
+package vgv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynprof/internal/vt"
+)
+
+func TestCommMatrixAggregation(t *testing.T) {
+	col := vt.NewCollector()
+	col.Append([]vt.Event{
+		{At: 1, Rank: 0, Kind: vt.MsgSend, A: 1, B: 100},
+		{At: 2, Rank: 0, Kind: vt.MsgSend, A: 1, B: 300},
+		{At: 3, Rank: 1, Kind: vt.MsgSend, A: 0, B: 50},
+		{At: 4, Rank: 2, Kind: vt.MsgSend, A: 0, B: 4000},
+	})
+	p := Analyze(col)
+	if len(p.Comm) != 3 {
+		t.Fatalf("edges = %d, want 3", len(p.Comm))
+	}
+	// Sorted by bytes descending: 2->0 first.
+	if p.Comm[0].From != 2 || p.Comm[0].To != 0 || p.Comm[0].Bytes != 4000 {
+		t.Fatalf("heaviest edge = %+v", p.Comm[0])
+	}
+	// 0->1 aggregated: 2 msgs, 400 bytes.
+	found := false
+	for _, e := range p.Comm {
+		if e.From == 0 && e.To == 1 {
+			found = true
+			if e.Msgs != 2 || e.Bytes != 400 {
+				t.Fatalf("0->1 edge = %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("0->1 edge missing")
+	}
+	var buf bytes.Buffer
+	if err := p.WriteCommMatrix(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4000") {
+		t.Fatalf("matrix output wrong:\n%s", buf.String())
+	}
+}
+
+func TestCommMatrixEmptyTrace(t *testing.T) {
+	p := Analyze(vt.NewCollector())
+	if len(p.Comm) != 0 {
+		t.Fatalf("edges on empty trace: %v", p.Comm)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteCommMatrix(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+}

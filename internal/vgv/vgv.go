@@ -1,0 +1,268 @@
+// Package vgv is the postmortem analysis side of the toolset: the
+// stand-in for the Vampir/GuideView GUI. It reads a trace produced by the
+// instrumentation library and computes per-function profiles (call counts,
+// inclusive/exclusive times), message statistics, and an ASCII time-line
+// display in which MPI processes and OpenMP threads appear as horizontal
+// bars with "a wiggle glyph superimposed ... to represent OpenMP parallel
+// regions" (Figure 4).
+package vgv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dynprof/internal/des"
+	"dynprof/internal/vt"
+)
+
+// FuncStat is one function's aggregate profile.
+type FuncStat struct {
+	Name      string
+	Calls     int64
+	Inclusive des.Time
+	Exclusive des.Time
+}
+
+// MsgStat aggregates point-to-point traffic.
+type MsgStat struct {
+	Sends int
+	Recvs int
+	Bytes int64
+}
+
+// CommEdge is one directed sender→receiver traffic aggregate.
+type CommEdge struct {
+	From, To int32
+	Msgs     int
+	Bytes    int64
+}
+
+// CallEdge is one caller→callee aggregate of the dynamic call graph.
+// Callers outside any instrumented function appear as "(root)".
+type CallEdge struct {
+	Caller string
+	Callee string
+	Calls  int64
+	Time   des.Time // callee inclusive time under this caller
+}
+
+// Profile is the postmortem analysis of one trace.
+type Profile struct {
+	Funcs []FuncStat // sorted by exclusive time, descending
+	Msgs  MsgStat
+	// Start and End bound the trace.
+	Start, End des.Time
+	// Ranks and Threads count the distinct lanes seen.
+	Ranks   int
+	Threads int
+	// Unbalanced counts enter/exit events that could not be paired —
+	// expected when instrumentation was inserted or removed mid-run.
+	Unbalanced int
+	// Comm is the communication matrix: per sender→receiver traffic,
+	// sorted by bytes descending (Vampir's message-statistics view).
+	Comm []CommEdge
+	// CallGraph is the dynamic call graph observed in the trace, sorted
+	// by edge time descending (the calling-sequence report of the
+	// paper's introduction).
+	CallGraph []CallEdge
+}
+
+// laneKey identifies one execution lane (process bar in the display).
+type laneKey struct {
+	rank int32
+	tid  int32
+}
+
+// frame is one open function invocation on a lane's call stack.
+type frame struct {
+	name    string
+	enterAt des.Time
+	child   des.Time
+}
+
+// Analyze computes the profile of a collected trace.
+func Analyze(col *vt.Collector) *Profile {
+	events := col.Events()
+	p := &Profile{}
+	stacks := make(map[laneKey][]frame)
+	agg := make(map[string]*FuncStat)
+	ranks := make(map[int32]bool)
+	lanes := make(map[laneKey]bool)
+	edges := make(map[[2]int32]*CommEdge)
+
+	get := func(name string) *FuncStat {
+		st, ok := agg[name]
+		if !ok {
+			st = &FuncStat{Name: name}
+			agg[name] = st
+		}
+		return st
+	}
+	callEdges := make(map[[2]string]*CallEdge)
+	closeFrame := func(lane laneKey, f frame, at des.Time) {
+		inc := at - f.enterAt
+		if inc < 0 {
+			inc = 0
+		}
+		st := get(f.name)
+		st.Calls++
+		st.Inclusive += inc
+		st.Exclusive += inc - f.child
+		caller := "(root)"
+		if s := stacks[lane]; len(s) > 0 {
+			s[len(s)-1].child += inc
+			caller = s[len(s)-1].name
+		}
+		key := [2]string{caller, f.name}
+		edge, ok := callEdges[key]
+		if !ok {
+			edge = &CallEdge{Caller: caller, Callee: f.name}
+			callEdges[key] = edge
+		}
+		edge.Calls++
+		edge.Time += inc
+	}
+
+	if len(events) > 0 {
+		p.Start = events[0].At
+		p.End = events[len(events)-1].At
+	}
+	for _, e := range events {
+		lane := laneKey{rank: e.Rank, tid: e.TID}
+		ranks[e.Rank] = true
+		lanes[lane] = true
+		name := col.FuncName(e.Rank, e.ID)
+		switch e.Kind {
+		case vt.Enter, vt.APIEnter:
+			stacks[lane] = append(stacks[lane], frame{name: name, enterAt: e.At})
+		case vt.Exit, vt.APIExit:
+			s := stacks[lane]
+			if len(s) == 0 || s[len(s)-1].name != name {
+				// Orphan exit: instrumentation appeared mid-call, or the
+				// matching enter predates the probe's insertion.
+				p.Unbalanced++
+				continue
+			}
+			f := s[len(s)-1]
+			stacks[lane] = s[:len(s)-1]
+			closeFrame(lane, f, e.At)
+		case vt.MsgSend:
+			p.Msgs.Sends++
+			p.Msgs.Bytes += e.B
+			key := [2]int32{e.Rank, int32(e.A)}
+			edge, ok := edges[key]
+			if !ok {
+				edge = &CommEdge{From: e.Rank, To: int32(e.A)}
+				edges[key] = edge
+			}
+			edge.Msgs++
+			edge.Bytes += e.B
+		case vt.MsgRecv:
+			p.Msgs.Recvs++
+		}
+	}
+	// Close frames left open at trace end (probe removed before exit, or
+	// the program ended inside the function).
+	for lane, s := range stacks {
+		for i := len(s) - 1; i >= 0; i-- {
+			p.Unbalanced++
+			stacks[lane] = s[:i]
+			closeFrame(lane, s[i], p.End)
+		}
+	}
+	for _, st := range agg {
+		p.Funcs = append(p.Funcs, *st)
+	}
+	sort.Slice(p.Funcs, func(i, j int) bool {
+		if p.Funcs[i].Exclusive != p.Funcs[j].Exclusive {
+			return p.Funcs[i].Exclusive > p.Funcs[j].Exclusive
+		}
+		return p.Funcs[i].Name < p.Funcs[j].Name
+	})
+	for _, e := range callEdges {
+		p.CallGraph = append(p.CallGraph, *e)
+	}
+	sort.Slice(p.CallGraph, func(i, j int) bool {
+		if p.CallGraph[i].Time != p.CallGraph[j].Time {
+			return p.CallGraph[i].Time > p.CallGraph[j].Time
+		}
+		if p.CallGraph[i].Caller != p.CallGraph[j].Caller {
+			return p.CallGraph[i].Caller < p.CallGraph[j].Caller
+		}
+		return p.CallGraph[i].Callee < p.CallGraph[j].Callee
+	})
+	for _, e := range edges {
+		p.Comm = append(p.Comm, *e)
+	}
+	sort.Slice(p.Comm, func(i, j int) bool {
+		if p.Comm[i].Bytes != p.Comm[j].Bytes {
+			return p.Comm[i].Bytes > p.Comm[j].Bytes
+		}
+		if p.Comm[i].From != p.Comm[j].From {
+			return p.Comm[i].From < p.Comm[j].From
+		}
+		return p.Comm[i].To < p.Comm[j].To
+	})
+	p.Ranks = len(ranks)
+	p.Threads = len(lanes)
+	return p
+}
+
+// WriteCallGraph renders the dynamic call graph, heaviest edges first
+// (n <= 0 means all edges).
+func (p *Profile) WriteCallGraph(w io.Writer, n int) error {
+	if n <= 0 || n > len(p.CallGraph) {
+		n = len(p.CallGraph)
+	}
+	if _, err := fmt.Fprintf(w, "%-28s %-28s %10s %14s\n", "caller", "callee", "calls", "time(ms)"); err != nil {
+		return err
+	}
+	for _, e := range p.CallGraph[:n] {
+		fmt.Fprintf(w, "%-28s %-28s %10d %14.3f\n", e.Caller, e.Callee, e.Calls, e.Time.Milliseconds())
+	}
+	return nil
+}
+
+// WriteCommMatrix renders the communication matrix, heaviest edges first
+// (n <= 0 means all edges).
+func (p *Profile) WriteCommMatrix(w io.Writer, n int) error {
+	if n <= 0 || n > len(p.Comm) {
+		n = len(p.Comm)
+	}
+	if _, err := fmt.Fprintf(w, "%-6s %-6s %10s %14s\n", "from", "to", "msgs", "bytes"); err != nil {
+		return err
+	}
+	for _, e := range p.Comm[:n] {
+		fmt.Fprintf(w, "r%-5d r%-5d %10d %14d\n", e.From, e.To, e.Msgs, e.Bytes)
+	}
+	return nil
+}
+
+// Lookup finds a function's profile entry.
+func (p *Profile) Lookup(name string) (FuncStat, bool) {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FuncStat{}, false
+}
+
+// WriteReport renders the profile as a text table (top n functions by
+// exclusive time; n <= 0 means all).
+func (p *Profile) WriteReport(w io.Writer, n int) error {
+	if n <= 0 || n > len(p.Funcs) {
+		n = len(p.Funcs)
+	}
+	if _, err := fmt.Fprintf(w, "span %v..%v  lanes %d  msgs %d/%d (%d bytes)  unbalanced %d\n",
+		p.Start, p.End, p.Threads, p.Msgs.Sends, p.Msgs.Recvs, p.Msgs.Bytes, p.Unbalanced); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-32s %10s %14s %14s\n", "function", "calls", "incl(ms)", "excl(ms)")
+	for _, f := range p.Funcs[:n] {
+		fmt.Fprintf(w, "%-32s %10d %14.3f %14.3f\n",
+			f.Name, f.Calls, f.Inclusive.Milliseconds(), f.Exclusive.Milliseconds())
+	}
+	return nil
+}

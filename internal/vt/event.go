@@ -1,0 +1,235 @@
+// Package vt implements a Vampirtrace-like instrumentation library: a
+// per-process function registry (VT_funcdef), per-thread timestamped event
+// buffers written by VT_begin/VT_end probes, a configuration table that
+// activates or deactivates symbols (read from a VT config file and updated
+// at runtime through VT_confsync), MPI and OpenMP event logging adapters,
+// and a trace-file writer/reader for postmortem analysis.
+package vt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dynprof/internal/des"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+// Event kinds.
+const (
+	// Enter and Exit are subroutine entry/exit events (VT_begin/VT_end).
+	Enter Kind = iota
+	Exit
+	// MsgSend and MsgRecv are MPI point-to-point events; A is the peer
+	// rank, B the byte count.
+	MsgSend
+	MsgRecv
+	// APIEnter and APIExit bracket MPI library calls seen through the
+	// wrapper interface.
+	APIEnter
+	APIExit
+	// RegionFork, RegionEnter, RegionExit and RegionJoin are OpenMP
+	// parallel-region events from the Guidetrace hooks; A is the member
+	// id for enter/exit.
+	RegionFork
+	RegionEnter
+	RegionExit
+	RegionJoin
+	// ConfSync marks a VT_confsync call; A is the configuration
+	// generation after the sync.
+	ConfSync
+)
+
+var kindNames = [...]string{
+	Enter: "enter", Exit: "exit",
+	MsgSend: "send", MsgRecv: "recv",
+	APIEnter: "apienter", APIExit: "apiexit",
+	RegionFork: "fork", RegionEnter: "renter", RegionExit: "rexit", RegionJoin: "join",
+	ConfSync: "confsync",
+}
+
+// String returns the kind's trace mnemonic.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// kindFromString inverts String; ok is false for unknown mnemonics.
+func kindFromString(s string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// EventBytes is the on-disk size of one event record, used for the
+// trace-volume accounting that motivates the paper (data gathering "at the
+// rate of 2 megabytes per second").
+const EventBytes = 24
+
+// Event is one timestamped trace record.
+type Event struct {
+	At   des.Time
+	Rank int32
+	TID  int32
+	Kind Kind
+	ID   int32 // function or region id in the owning rank's table
+	A    int64 // kind-specific: peer rank, member id, generation
+	B    int64 // kind-specific: byte count
+}
+
+// Collector accumulates the trace of a whole run: per-rank function tables
+// and the merged event stream. All data collected at run time "is passed
+// through Vampirtrace and written to a trace file" at termination.
+type Collector struct {
+	funcs   map[int32]map[int32]string // rank -> id -> name
+	events  []Event
+	flushes int
+}
+
+// NewCollector returns an empty trace collector.
+func NewCollector() *Collector {
+	return &Collector{funcs: make(map[int32]map[int32]string)}
+}
+
+// AddFuncTable registers rank's id-to-name function table.
+func (col *Collector) AddFuncTable(rank int32, names map[int32]string) {
+	t, ok := col.funcs[rank]
+	if !ok {
+		t = make(map[int32]string, len(names))
+		col.funcs[rank] = t
+	}
+	for id, n := range names {
+		t[id] = n
+	}
+}
+
+// Append merges a rank's event buffer into the trace.
+func (col *Collector) Append(events []Event) {
+	col.events = append(col.events, events...)
+	col.flushes++
+}
+
+// Events returns the merged events sorted by timestamp (stable: ties keep
+// rank/tid/insertion order).
+func (col *Collector) Events() []Event {
+	out := append([]Event(nil), col.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len reports the number of collected events.
+func (col *Collector) Len() int { return len(col.events) }
+
+// Bytes reports the trace's size under the fixed per-event record size.
+func (col *Collector) Bytes() int { return len(col.events) * EventBytes }
+
+// FuncName resolves a function id in rank's table.
+func (col *Collector) FuncName(rank, id int32) string {
+	if n, ok := col.funcs[rank][id]; ok {
+		return n
+	}
+	return fmt.Sprintf("func#%d", id)
+}
+
+// Ranks returns the ranks with registered function tables, sorted.
+func (col *Collector) Ranks() []int32 {
+	rs := make([]int32, 0, len(col.funcs))
+	for r := range col.funcs {
+		rs = append(rs, r)
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	return rs
+}
+
+// WriteTrace writes the trace in the textual VGV-trace format:
+//
+//	# vgvtrace 1
+//	FUNC <rank> <id> <name>
+//	EVT <ns> <rank> <tid> <kind> <id> <a> <b>
+func (col *Collector) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# vgvtrace 1"); err != nil {
+		return err
+	}
+	for _, rank := range col.Ranks() {
+		t := col.funcs[rank]
+		ids := make([]int32, 0, len(t))
+		for id := range t {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if _, err := fmt.Fprintf(bw, "FUNC %d %d %s\n", rank, id, t[id]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range col.Events() {
+		if _, err := fmt.Fprintf(bw, "EVT %d %d %d %s %d %d %d\n",
+			int64(e.At), e.Rank, e.TID, e.Kind, e.ID, e.A, e.B); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace produced by WriteTrace.
+func ReadTrace(r io.Reader) (*Collector, error) {
+	col := NewCollector()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "FUNC":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("vt: trace line %d: short FUNC record", line)
+			}
+			rank, err1 := strconv.Atoi(fields[1])
+			id, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("vt: trace line %d: bad FUNC ids", line)
+			}
+			col.AddFuncTable(int32(rank), map[int32]string{int32(id): strings.Join(fields[3:], " ")})
+		case "EVT":
+			if len(fields) != 8 {
+				return nil, fmt.Errorf("vt: trace line %d: EVT needs 8 fields, has %d", line, len(fields))
+			}
+			var nums [7]int64
+			for i, f := range []string{fields[1], fields[2], fields[3], fields[5], fields[6], fields[7]} {
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("vt: trace line %d: %v", line, err)
+				}
+				nums[i] = v
+			}
+			kind, ok := kindFromString(fields[4])
+			if !ok {
+				return nil, fmt.Errorf("vt: trace line %d: unknown kind %q", line, fields[4])
+			}
+			col.events = append(col.events, Event{
+				At: des.Time(nums[0]), Rank: int32(nums[1]), TID: int32(nums[2]),
+				Kind: kind, ID: int32(nums[3]), A: nums[4], B: nums[5],
+			})
+		default:
+			return nil, fmt.Errorf("vt: trace line %d: unknown record %q", line, fields[0])
+		}
+	}
+	return col, sc.Err()
+}

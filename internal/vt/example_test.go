@@ -1,0 +1,40 @@
+package vt_test
+
+import (
+	"fmt"
+
+	"dynprof/internal/vt"
+)
+
+// A VT configuration file deactivates statically inserted instrumentation:
+// at initialisation "the VT configuration file is read and a table of
+// symbols that are deactivated is created".
+func ExampleParseConfig() {
+	cfg := vt.MustParseConfig(`
+# deactivate everything, then re-enable the solver
+SYMBOL * OFF
+SYMBOL smg_Solve ON
+SYMBOL smg_VCycle ON
+`)
+	for _, sym := range []string{"smg_Solve", "smg_VCycle", "smg_IndexAdd"} {
+		fmt.Printf("%s active=%v\n", sym, cfg.Active(sym))
+	}
+	// Output:
+	// smg_Solve active=true
+	// smg_VCycle active=true
+	// smg_IndexAdd active=false
+}
+
+// Runtime reconfiguration stages changes that the next VT_confsync
+// distributes to every rank.
+func ExampleCtx_ApplyChanges() {
+	c := vt.NewCtx(vt.Options{Collector: vt.NewCollector()})
+	c.Initialize(nil)
+	id := c.FuncDef("hot_kernel")
+	fmt.Println("before:", c.Active(id))
+	c.ApplyChanges([]vt.Change{{Pattern: "hot_*", Active: false}})
+	fmt.Println("after:", c.Active(id))
+	// Output:
+	// before: true
+	// after: false
+}

@@ -1,0 +1,65 @@
+package vt
+
+import (
+	"testing"
+)
+
+func TestMidRunBufferFlush(t *testing.T) {
+	col := NewCollector()
+	c := NewCtx(Options{Rank: 0, Collector: col, FlushThreshold: 10})
+	c.Initialize(nil)
+	id := c.FuncDef("f")
+	ec := &fakeEC{}
+	for i := 0; i < 25; i++ {
+		c.Begin(ec, id) // 25 events into one thread's buffer
+	}
+	// Two full buffers (10 each) must already be at the collector, with
+	// the drain cost charged to the thread.
+	if col.Len() != 20 {
+		t.Fatalf("collector has %d events before termination, want 20", col.Len())
+	}
+	if c.MidRunFlushes() != 2 {
+		t.Fatalf("mid-run flushes = %d", c.MidRunFlushes())
+	}
+	base := int64(25) * (lookupCycles + recordCycles)
+	if ec.charged <= base {
+		t.Fatalf("flush cost not charged: %d <= %d", ec.charged, base)
+	}
+	// Termination flush delivers the remainder.
+	c.Flush()
+	if col.Len() != 25 {
+		t.Fatalf("total events = %d, want 25", col.Len())
+	}
+}
+
+func TestNoMidRunFlushByDefault(t *testing.T) {
+	col := NewCollector()
+	c := NewCtx(Options{Rank: 0, Collector: col})
+	c.Initialize(nil)
+	id := c.FuncDef("f")
+	ec := &fakeEC{}
+	for i := 0; i < 1000; i++ {
+		c.Begin(ec, id)
+	}
+	if col.Len() != 0 || c.MidRunFlushes() != 0 {
+		t.Fatalf("default config flushed mid-run: %d events, %d flushes", col.Len(), c.MidRunFlushes())
+	}
+}
+
+func TestFlushThresholdWithCountOnly(t *testing.T) {
+	// CountOnly drops payloads, so the threshold never trips.
+	col := NewCollector()
+	c := NewCtx(Options{Rank: 0, Collector: col, FlushThreshold: 4, CountOnly: true})
+	c.Initialize(nil)
+	id := c.FuncDef("f")
+	ec := &fakeEC{}
+	for i := 0; i < 100; i++ {
+		c.Begin(ec, id)
+	}
+	if c.MidRunFlushes() != 0 || col.Len() != 0 {
+		t.Fatal("count-only context flushed events")
+	}
+	if c.TraceBytes() != 100*EventBytes {
+		t.Fatalf("byte accounting lost: %d", c.TraceBytes())
+	}
+}
