@@ -14,7 +14,6 @@ import (
 	"testing"
 
 	"dynprof/internal/apps"
-	"dynprof/internal/core"
 	"dynprof/internal/des"
 	"dynprof/internal/exp"
 	"dynprof/internal/guide"
@@ -26,13 +25,11 @@ import (
 // cell runs one (app, policy, cpus) experiment cell b.N times.
 func cell(b *testing.B, appName string, policy exp.Policy, cpus int, args map[string]int) {
 	b.Helper()
-	app, err := apps.Get(appName)
-	if err != nil {
-		b.Fatal(err)
-	}
+	spec := exp.RunSpec{App: appName, Policy: policy, CPUs: cpus, Args: args, Seed: exp.DefaultSeed}
 	var last exp.Result
+	var err error
 	for i := 0; i < b.N; i++ {
-		last, err = exp.RunPolicy(machine.IBMPower3Cluster(), app, policy, cpus, args, 2003)
+		last, err = exp.Run(spec)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,16 +80,16 @@ func BenchmarkFig8aConfSync(b *testing.B) {
 		for _, cpus := range []int{2, 64, 512} {
 			variant, cpus := variant, cpus
 			b.Run(fmt.Sprintf("%s/%dcpu", variant.name, cpus), func(b *testing.B) {
-				var mean des.Time
+				spec := exp.ConfSyncSpec{CPUs: cpus, Changes: variant.changes, Seed: exp.DefaultSeed}
+				var res exp.ConfSyncResult
 				for i := 0; i < b.N; i++ {
 					var err error
-					mean, err = exp.ConfSyncProbe(machine.IBMPower3Cluster(), cpus, 16, 64,
-						variant.changes, false, 2003)
+					res, err = exp.RunConfSync(spec)
 					if err != nil {
 						b.Fatal(err)
 					}
 				}
-				b.ReportMetric(mean.Seconds(), "sim_s")
+				b.ReportMetric(res.Mean.Seconds(), "sim_s")
 			})
 		}
 	}
@@ -104,15 +101,16 @@ func BenchmarkFig8bStatistics(b *testing.B) {
 	for _, cpus := range []int{2, 64, 512} {
 		cpus := cpus
 		b.Run(fmt.Sprintf("%dcpu", cpus), func(b *testing.B) {
-			var mean des.Time
+			spec := exp.ConfSyncSpec{CPUs: cpus, WriteStats: true, Seed: exp.DefaultSeed}
+			var res exp.ConfSyncResult
 			for i := 0; i < b.N; i++ {
 				var err error
-				mean, err = exp.ConfSyncProbe(machine.IBMPower3Cluster(), cpus, 16, 64, 0, true, 2003)
+				res, err = exp.RunConfSync(spec)
 				if err != nil {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(mean.Seconds(), "sim_s")
+			b.ReportMetric(res.Mean.Seconds(), "sim_s")
 		})
 	}
 }
@@ -123,15 +121,16 @@ func BenchmarkFig8cIA32(b *testing.B) {
 	for _, cpus := range []int{2, 8, 16} {
 		cpus := cpus
 		b.Run(fmt.Sprintf("%dcpu", cpus), func(b *testing.B) {
-			var mean des.Time
+			spec := exp.ConfSyncSpec{Machine: machine.IA32LinuxCluster(), CPUs: cpus, Seed: exp.DefaultSeed}
+			var res exp.ConfSyncResult
 			for i := 0; i < b.N; i++ {
 				var err error
-				mean, err = exp.ConfSyncProbe(machine.IA32LinuxCluster(), cpus, 16, 64, 0, false, 2003)
+				res, err = exp.RunConfSync(spec)
 				if err != nil {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(mean.Seconds(), "sim_s")
+			b.ReportMetric(res.Mean.Seconds(), "sim_s")
 		})
 	}
 }
@@ -155,13 +154,11 @@ func BenchmarkFig9CreateAndInstrument(b *testing.B) {
 		for _, cpus := range cpusFor[name] {
 			name, cpus := name, cpus
 			b.Run(fmt.Sprintf("%s/%dcpu", name, cpus), func(b *testing.B) {
-				app, err := apps.Get(name)
-				if err != nil {
-					b.Fatal(err)
-				}
+				spec := exp.RunSpec{App: name, Policy: exp.Dynamic, CPUs: cpus, Args: decks[name], Seed: exp.DefaultSeed}
 				var last exp.Result
 				for i := 0; i < b.N; i++ {
-					last, err = exp.RunPolicy(machine.IBMPower3Cluster(), app, exp.Dynamic, cpus, decks[name], 2003)
+					var err error
+					last, err = exp.Run(spec)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -304,42 +301,32 @@ func BenchmarkHybridConfSyncPoints(b *testing.B) {
 
 func runHybrid(b *testing.B, withPoints bool) des.Time {
 	b.Helper()
-	app, err := apps.Get("sppm")
+	res, err := exp.RunHybrid(exp.HybridSpec{WithPoints: withPoints, Seed: exp.DefaultSeed})
 	if err != nil {
 		b.Fatal(err)
 	}
-	s := des.NewScheduler(2003)
-	var job *guide.Job
-	s.Spawn("dynprof", func(p *des.Proc) {
-		ss, err := newHybridSession(p, app)
-		if err != nil {
-			b.Error(err)
-			return
-		}
-		job = ss.Job()
-		if withPoints {
-			if err := ss.InsertConfSyncAt(p, "sppm_StepDriver"); err != nil {
-				b.Error(err)
-				return
-			}
-		}
-		ss.Start(p)
-		ss.Quit(p)
-	})
-	if err := s.Run(); err != nil {
-		b.Fatal(err)
-	}
-	return job.MainElapsed()
+	return res.Elapsed
 }
 
-// newHybridSession builds a minimal dynprof session over app for the
-// hybrid benchmark.
-func newHybridSession(p *des.Proc, app *guide.App) (*core.Session, error) {
-	return core.NewSession(p, core.Config{
-		Machine:   machine.IBMPower3Cluster(),
-		App:       app,
-		Procs:     4,
-		Args:      map[string]int{"nx": 8, "ny": 8, "nz": 8, "steps": 6},
-		CountOnly: true,
-	})
+// BenchmarkRunnerFigures measures the exp.Runner scheduling a whole
+// figure's cell work-list, sequentially versus on a GOMAXPROCS-wide
+// worker pool (the output is byte-identical either way; only host
+// wall-clock differs).
+func BenchmarkRunnerFigures(b *testing.B) {
+	for _, cfg := range []struct {
+		name        string
+		parallelism int
+	}{{"seq", 1}, {"par", 0}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// A fresh Runner per iteration: the memo cache would
+				// otherwise absorb all work after the first pass.
+				r := exp.NewRunner(exp.Options{MaxCPUs: 8, Parallelism: cfg.parallelism})
+				if _, err := r.Figures("fig7a", "fig8a"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

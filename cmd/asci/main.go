@@ -79,7 +79,14 @@ func run() error {
 		return runTraced(mach, app, policy, *procs, deck, *seed, *trace)
 	}
 
-	res, err := exp.RunPolicy(mach, app, policy, *procs, deck, *seed)
+	res, err := exp.Run(exp.RunSpec{
+		AppDef:  app,
+		Policy:  policy,
+		CPUs:    *procs,
+		Machine: mach,
+		Args:    deck,
+		Seed:    *seed,
+	})
 	if err != nil {
 		return err
 	}

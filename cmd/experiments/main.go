@@ -1,15 +1,20 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation from the simulation, printing the same rows/series the paper
-// reports.
+// reports. Figures are scheduled as independent cells on a worker pool
+// (exp.Runner); output is byte-identical at any parallelism.
 //
-//	experiments -all              # everything (several minutes)
+//	experiments -all              # everything (sequentially: several minutes)
+//	experiments -all -parallel 8  # same bytes, one cell per worker
 //	experiments -fig7a -fig9      # selected figures
 //	experiments -table2 -table3   # tables only
 //	experiments -fig7a -csv       # CSV output
 //	experiments -fig7a -max-cpus 8  # truncate the CPU sweep
+//	experiments -all -jsonl cells.jsonl -progress  # observable run
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,41 +32,58 @@ func main() {
 
 func run() error {
 	var (
-		all     = flag.Bool("all", false, "run every table and figure")
-		table1  = flag.Bool("table1", false, "Table 1: dynprof commands")
-		table2  = flag.Bool("table2", false, "Table 2: the ASCI kernel applications")
-		table3  = flag.Bool("table3", false, "Table 3: the instrumentation policies")
-		fig7a   = flag.Bool("fig7a", false, "Figure 7(a): Smg98 execution times")
-		fig7b   = flag.Bool("fig7b", false, "Figure 7(b): Sppm execution times")
-		fig7c   = flag.Bool("fig7c", false, "Figure 7(c): Sweep3d execution times")
-		fig7d   = flag.Bool("fig7d", false, "Figure 7(d): Umt98 execution times")
-		fig8a   = flag.Bool("fig8a", false, "Figure 8(a): VT_confsync on IBM")
-		fig8b   = flag.Bool("fig8b", false, "Figure 8(b): statistics write on IBM")
-		fig8c   = flag.Bool("fig8c", false, "Figure 8(c): VT_confsync on IA32")
-		fig9    = flag.Bool("fig9", false, "Figure 9: time to create and instrument")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		maxCPUs = flag.Int("max-cpus", 0, "truncate CPU sweeps (0 = the paper's full range)")
-		seed    = flag.Uint64("seed", 2003, "simulation seed")
+		all      = flag.Bool("all", false, "run every table and figure")
+		table1   = flag.Bool("table1", false, "Table 1: dynprof commands")
+		table2   = flag.Bool("table2", false, "Table 2: the ASCI kernel applications")
+		table3   = flag.Bool("table3", false, "Table 3: the instrumentation policies")
+		fig7a    = flag.Bool("fig7a", false, "Figure 7(a): Smg98 execution times")
+		fig7b    = flag.Bool("fig7b", false, "Figure 7(b): Sppm execution times")
+		fig7c    = flag.Bool("fig7c", false, "Figure 7(c): Sweep3d execution times")
+		fig7d    = flag.Bool("fig7d", false, "Figure 7(d): Umt98 execution times")
+		fig8a    = flag.Bool("fig8a", false, "Figure 8(a): VT_confsync on IBM")
+		fig8b    = flag.Bool("fig8b", false, "Figure 8(b): statistics write on IBM")
+		fig8c    = flag.Bool("fig8c", false, "Figure 8(c): VT_confsync on IA32")
+		fig9     = flag.Bool("fig9", false, "Figure 9: time to create and instrument")
+		hybrid   = flag.Bool("hybrid", false, "Section 5.1 hybrid: dynamically inserted confsync points")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		maxCPUs  = flag.Int("max-cpus", 0, "truncate CPU sweeps (0 = the paper's full range)")
+		seed     = flag.Uint64("seed", exp.DefaultSeed, "simulation seed")
+		parallel = flag.Int("parallel", 0, "worker pool size for experiment cells (0 = GOMAXPROCS)")
+		jsonl    = flag.String("jsonl", "", "write one JSON line per figure cell to this file")
+		progress = flag.Bool("progress", false, "report cell progress and run metrics on stderr")
 	)
 	flag.Parse()
 
-	opts := exp.Options{Seed: *seed, MaxCPUs: *maxCPUs}
-	out := os.Stdout
-	any := false
-	emit := func(fig *exp.Figure, err error) error {
+	opts := exp.Options{
+		Seed:        *seed,
+		SeedSet:     true,
+		MaxCPUs:     *maxCPUs,
+		Parallelism: *parallel,
+	}
+	if *progress {
+		opts.Progress = func(done, total, cacheHits int) {
+			fmt.Fprintf(os.Stderr, "\rcells %d/%d (%d cached)", done, total, cacheHits)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	var jw *bufio.Writer
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
 		if err != nil {
 			return err
 		}
-		any = true
-		if *csv {
-			return fig.CSV(out)
-		}
-		if err := fig.Render(out); err != nil {
-			return err
-		}
-		_, err = fmt.Fprintln(out)
-		return err
+		defer f.Close()
+		jw = bufio.NewWriter(f)
+		defer jw.Flush()
+		enc := json.NewEncoder(jw)
+		opts.OnCell = func(ev exp.CellEvent) { _ = enc.Encode(ev) }
 	}
+	runner := exp.NewRunner(opts)
+
+	out := os.Stdout
+	any := false
 	emitTable := func(f func(io.Writer) error) error {
 		any = true
 		if err := f(out); err != nil {
@@ -86,46 +108,55 @@ func run() error {
 			return err
 		}
 	}
-	figs := []struct {
-		on  bool
-		app string
+
+	// Collect the requested figures, then schedule their combined cell
+	// work-list through one Runner call so cells shared between figures
+	// run exactly once.
+	var ids []string
+	for _, f := range []struct {
+		on bool
+		id string
 	}{
-		{*all || *fig7a, "smg98"},
-		{*all || *fig7b, "sppm"},
-		{*all || *fig7c, "sweep3d"},
-		{*all || *fig7d, "umt98"},
-	}
-	for _, f := range figs {
-		if !f.on {
-			continue
-		}
-		fig, err := exp.Fig7(f.app, opts)
-		if err := emit(fig, err); err != nil {
-			return err
-		}
-	}
-	if *all || *fig8a {
-		fig, err := exp.Fig8a(opts)
-		if err := emit(fig, err); err != nil {
-			return err
+		{*all || *fig7a, "fig7a"},
+		{*all || *fig7b, "fig7b"},
+		{*all || *fig7c, "fig7c"},
+		{*all || *fig7d, "fig7d"},
+		{*all || *fig8a, "fig8a"},
+		{*all || *fig8b, "fig8b"},
+		{*all || *fig8c, "fig8c"},
+		{*all || *fig9, "fig9"},
+		{*hybrid, "hybrid"},
+	} {
+		if f.on {
+			ids = append(ids, f.id)
 		}
 	}
-	if *all || *fig8b {
-		fig, err := exp.Fig8b(opts)
-		if err := emit(fig, err); err != nil {
+	if len(ids) > 0 {
+		any = true
+		figs, err := runner.Figures(ids...)
+		if err != nil {
 			return err
 		}
-	}
-	if *all || *fig8c {
-		fig, err := exp.Fig8c(opts)
-		if err := emit(fig, err); err != nil {
-			return err
+		for _, fig := range figs {
+			if *csv {
+				if err := fig.CSV(out); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := fig.Render(out); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(out); err != nil {
+				return err
+			}
 		}
-	}
-	if *all || *fig9 {
-		fig, err := exp.Fig9(opts)
-		if err := emit(fig, err); err != nil {
-			return err
+		if *progress {
+			m := runner.Metrics()
+			fmt.Fprintf(os.Stderr,
+				"cells=%d runs=%d cache-hits=%d workers=%d wall=%s busy=%s virtual=%.1fs utilization=%.0f%%\n",
+				m.Cells, m.Runs, m.CacheHits, m.Workers,
+				m.Wall.Round(1e6), m.Busy.Round(1e6), m.Virtual.Seconds(), 100*m.Utilization())
 		}
 	}
 	if !any {

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"dynprof/internal/apps"
-	"dynprof/internal/machine"
 )
 
 func TestPolicyTable3(t *testing.T) {
@@ -278,12 +277,11 @@ func TestRenderers(t *testing.T) {
 func TestTraceBytesMotivation(t *testing.T) {
 	// The paper's motivation: full tracing generates data far faster
 	// than subset tracing. Compare trace volumes on one Smg98 run.
-	smg, _ := apps.Get("smg98")
-	full, err := RunPolicy(machine.IBMPower3Cluster(), smg, Full, 2, nil, 7)
+	full, err := Run(RunSpec{App: "smg98", Policy: Full, CPUs: 2, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	subset, err := RunPolicy(machine.IBMPower3Cluster(), smg, Subset, 2, nil, 7)
+	subset, err := Run(RunSpec{App: "smg98", Policy: Subset, CPUs: 2, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,7 +7,6 @@ import (
 	"dynprof/internal/des"
 	"dynprof/internal/guide"
 	"dynprof/internal/machine"
-	"dynprof/internal/vt"
 )
 
 // Point is one (CPU count, value) measurement.
@@ -51,11 +50,25 @@ func (f *Figure) At(label string, cpus int) (float64, bool) {
 type Options struct {
 	// Machine overrides the platform (default: the IBM Power3 cluster).
 	Machine *machine.Config
-	// Seed fixes all simulated asynchrony.
+	// Seed fixes all simulated asynchrony. The zero value selects
+	// DefaultSeed; set SeedSet to request seed 0 explicitly.
 	Seed uint64
+	// SeedSet marks Seed as explicit, making seed 0 requestable.
+	SeedSet bool
 	// MaxCPUs truncates the CPU sweep (for quick runs); 0 means the
 	// paper's full range.
 	MaxCPUs int
+	// Parallelism bounds the Runner's worker pool; 0 means GOMAXPROCS.
+	// Figures are assembled in deterministic order regardless, so the
+	// rendered output is byte-identical at any parallelism.
+	Parallelism int
+	// OnCell, if non-nil, receives one event per assembled figure cell,
+	// in deterministic presentation order (after all cells have run).
+	OnCell func(CellEvent)
+	// Progress, if non-nil, is called as cells complete with running
+	// counts. Calls are serialized but arrive in completion order, which
+	// is nondeterministic under parallelism.
+	Progress func(done, total, cacheHits int)
 }
 
 func (o Options) machine() *machine.Config {
@@ -66,8 +79,8 @@ func (o Options) machine() *machine.Config {
 }
 
 func (o Options) seed() uint64 {
-	if o.Seed == 0 {
-		return 2003
+	if o.Seed == 0 && !o.SeedSet {
+		return DefaultSeed
 	}
 	return o.Seed
 }
@@ -91,6 +104,9 @@ var mpiCPUs = []int{1, 2, 4, 8, 16, 32, 64}
 // ompCPUs is the sweep for Umt98, restricted to one SMP node.
 var ompCPUs = []int{1, 2, 4, 8}
 
+// hybridCPUs is the sweep for the Section 5.1 hybrid runs.
+var hybridCPUs = []int{2, 4, 8, 16}
+
 // cpusFor returns the evaluated CPU counts for an application, including
 // the paper's omissions (no 1-CPU Sweep3d run).
 func cpusFor(app *guide.App) []int {
@@ -104,92 +120,62 @@ func cpusFor(app *guide.App) []int {
 	}
 }
 
-// Fig7 reproduces one panel of Figure 7: the execution time of every
+// fig7Panels maps each application to its Figure 7 panel letter.
+var fig7Panels = map[string]string{"smg98": "a", "sppm": "b", "sweep3d": "c", "umt98": "d"}
+
+// planFig7 enumerates one panel of Figure 7: the execution time of every
 // instrumentation policy across the processor sweep for the named
 // application.
-func Fig7(appName string, opts Options) (*Figure, error) {
+func planFig7(appName string, opts Options) (*figurePlan, error) {
 	app, err := apps.Get(appName)
 	if err != nil {
 		return nil, err
 	}
-	panel := map[string]string{"smg98": "a", "sppm": "b", "sweep3d": "c", "umt98": "d"}[appName]
-	fig := &Figure{
-		ID:     "fig7" + panel,
+	plan := &figurePlan{fig: &Figure{
+		ID:     "fig7" + fig7Panels[appName],
 		Title:  fmt.Sprintf("Execution time of instrumented versions of %s", app.Name),
 		XLabel: "CPUs",
 		YLabel: "Time (s)",
-	}
-	for _, p := range PoliciesFor(app) {
-		s := Series{Label: p.String()}
+	}}
+	for si, p := range PoliciesFor(app) {
+		plan.fig.Series = append(plan.fig.Series, Series{Label: p.String()})
 		for _, cpus := range opts.cap(cpusFor(app)) {
-			res, err := RunPolicy(opts.machine(), app, p, cpus, nil, opts.seed())
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s/%d CPUs: %w", appName, p, cpus, err)
-			}
-			s.Points = append(s.Points, Point{CPUs: cpus, Value: res.Elapsed.Seconds()})
+			plan.cells = append(plan.cells, planCell{
+				series: si,
+				cpus:   cpus,
+				desc:   fmt.Sprintf("%s/%s/%d CPUs", appName, p, cpus),
+				spec:   RunSpec{App: appName, Policy: p, CPUs: cpus, Machine: opts.Machine, Seed: opts.seed()},
+				value:  func(v any) float64 { return v.(Result).Elapsed.Seconds() },
+			})
 		}
-		fig.Series = append(fig.Series, s)
 	}
-	return fig, nil
+	return plan, nil
+}
+
+// Fig7 reproduces one panel of Figure 7 (see planFig7). It runs through a
+// fresh Runner honouring opts.Parallelism.
+func Fig7(appName string, opts Options) (*Figure, error) {
+	plan, err := planFig7(appName, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewRunner(opts).runPlan(plan)
 }
 
 // ConfSyncProbe measures VT_confsync behaviour on one world size: the
 // mean cost over repetitions of calling ConfSync with or without staged
 // configuration changes and with or without the runtime-statistics dump.
+//
+// Deprecated: use RunConfSync with a ConfSyncSpec — the spec form carries
+// a canonical Key for dedup/caching and documented defaults.
 func ConfSyncProbe(mach *machine.Config, cpus, reps, nfuncs, changes int,
 	writeStats bool, seed uint64) (mean des.Time, err error) {
 
-	app := &guide.App{
-		Name:  "csync",
-		Lang:  guide.MPIC,
-		Funcs: []guide.Func{{Name: "cs_compute", Size: 30}},
-		Main:  nil,
-	}
-	var total des.Time
-	app.Main = func(c *guide.Ctx) {
-		c.MPI.Init()
-		// Populate the library with a realistic function table and some
-		// statistics content.
-		for i := 0; i < nfuncs; i++ {
-			id := c.VT.FuncDef(fmt.Sprintf("func_%03d", i))
-			c.VT.Begin(c.T, id)
-			c.VT.End(c.T, id)
-		}
-		for rep := 0; rep < reps; rep++ {
-			c.Call("cs_compute", func() { c.T.Work(400_000) })
-			if c.MPI.Rank() == 0 && changes > 0 {
-				chs := make([]vt.Change, changes)
-				for i := range chs {
-					chs[i] = vt.Change{Pattern: fmt.Sprintf("func_%03d", (rep+i)%nfuncs), Active: rep%2 == 0}
-				}
-				c.VT.QueueChanges(chs)
-			}
-			c.T.Sync()
-			t0 := c.T.Now()
-			c.VT.ConfSync(c.MPI, writeStats, nil)
-			c.T.Sync()
-			if c.MPI.Rank() == 0 {
-				total += c.T.Now() - t0
-			}
-		}
-		c.MPI.Finalize()
-	}
-	bin, err := guide.Build(app, guide.BuildOpts{})
-	if err != nil {
-		return 0, err
-	}
-	s := des.NewScheduler(seed)
-	j, err := guide.Launch(s, mach, bin, guide.LaunchOpts{Procs: cpus, CountOnly: true})
-	if err != nil {
-		return 0, err
-	}
-	if err := s.Run(); err != nil {
-		return 0, err
-	}
-	if !j.Done() {
-		return 0, fmt.Errorf("exp: confsync probe did not finish")
-	}
-	return total / des.Time(reps), nil
+	res, err := RunConfSync(ConfSyncSpec{
+		Machine: mach, CPUs: cpus, Reps: reps, NFuncs: nfuncs,
+		Changes: changes, WriteStats: writeStats, Seed: seed,
+	})
+	return res.Mean, err
 }
 
 // confSyncCPUs is the processor sweep of Figure 8 (a) and (b).
@@ -198,74 +184,95 @@ var confSyncCPUs = []int{2, 4, 8, 16, 32, 64, 128, 256, 512}
 // ia32CPUs is the sweep of Figure 8 (c): 2..16 on the IA32 cluster.
 var ia32CPUs = []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
 
-// Fig8a reproduces Figure 8(a): VT_confsync cost on the IBM system with
-// and without configuration changes, averaged over 16 calls.
-func Fig8a(opts Options) (*Figure, error) {
-	fig := &Figure{
+// confSyncValue extracts the plotted mean from a probe cell result.
+func confSyncValue(v any) float64 { return v.(ConfSyncResult).Mean.Seconds() }
+
+// planFig8a enumerates Figure 8(a): VT_confsync cost on the IBM system
+// with and without configuration changes, averaged over 16 calls.
+func planFig8a(opts Options) *figurePlan {
+	plan := &figurePlan{fig: &Figure{
 		ID:     "fig8a",
 		Title:  "Time for VT_confsync on IBM",
 		XLabel: "Number of Processors",
 		YLabel: "Time (s)",
-	}
-	for _, variant := range []struct {
+	}}
+	for si, variant := range []struct {
 		label   string
 		changes int
 	}{{"No Change", 0}, {"Changes", 8}} {
-		s := Series{Label: variant.label}
+		plan.fig.Series = append(plan.fig.Series, Series{Label: variant.label})
 		for _, cpus := range opts.cap(confSyncCPUs) {
-			mean, err := ConfSyncProbe(opts.machine(), cpus, 16, 64, variant.changes, false, opts.seed())
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, Point{CPUs: cpus, Value: mean.Seconds()})
+			plan.cells = append(plan.cells, planCell{
+				series: si,
+				cpus:   cpus,
+				desc:   fmt.Sprintf("fig8a %s/%d CPUs", variant.label, cpus),
+				spec:   ConfSyncSpec{Machine: opts.Machine, CPUs: cpus, Changes: variant.changes, Seed: opts.seed()},
+				value:  confSyncValue,
+			})
 		}
-		fig.Series = append(fig.Series, s)
 	}
-	return fig, nil
+	return plan
 }
 
-// Fig8b reproduces Figure 8(b): VT_confsync used to synchronise runtime
-// generation of statistical data on the IBM system.
-func Fig8b(opts Options) (*Figure, error) {
-	fig := &Figure{
+// Fig8a reproduces Figure 8(a) (see planFig8a).
+func Fig8a(opts Options) (*Figure, error) {
+	return NewRunner(opts).runPlan(planFig8a(opts))
+}
+
+// planFig8b enumerates Figure 8(b): VT_confsync used to synchronise
+// runtime generation of statistical data on the IBM system.
+func planFig8b(opts Options) *figurePlan {
+	plan := &figurePlan{fig: &Figure{
 		ID:     "fig8b",
 		Title:  "Time to write statistics on IBM",
 		XLabel: "Number of Processors",
 		YLabel: "Time (s)",
-	}
-	s := Series{Label: "Statistics"}
+	}}
+	plan.fig.Series = append(plan.fig.Series, Series{Label: "Statistics"})
 	for _, cpus := range opts.cap(confSyncCPUs) {
-		mean, err := ConfSyncProbe(opts.machine(), cpus, 16, 64, 0, true, opts.seed())
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, Point{CPUs: cpus, Value: mean.Seconds()})
+		plan.cells = append(plan.cells, planCell{
+			series: 0,
+			cpus:   cpus,
+			desc:   fmt.Sprintf("fig8b %d CPUs", cpus),
+			spec:   ConfSyncSpec{Machine: opts.Machine, CPUs: cpus, WriteStats: true, Seed: opts.seed()},
+			value:  confSyncValue,
+		})
 	}
-	fig.Series = append(fig.Series, s)
-	return fig, nil
+	return plan
 }
 
-// Fig8c reproduces Figure 8(c): VT_confsync on the Intel IA32 Linux
+// Fig8b reproduces Figure 8(b) (see planFig8b).
+func Fig8b(opts Options) (*Figure, error) {
+	return NewRunner(opts).runPlan(planFig8b(opts))
+}
+
+// planFig8c enumerates Figure 8(c): VT_confsync on the Intel IA32 Linux
 // cluster, demonstrating "that the synchronization API has similar
 // behavior between two different processor architectures".
-func Fig8c(opts Options) (*Figure, error) {
+func planFig8c(opts Options) *figurePlan {
 	mach := machine.IA32LinuxCluster()
-	fig := &Figure{
+	plan := &figurePlan{fig: &Figure{
 		ID:     "fig8c",
 		Title:  "Time for VT_confsync on IA32",
 		XLabel: "Number of Processors",
 		YLabel: "Time (s)",
-	}
-	s := Series{Label: "No Change"}
+	}}
+	plan.fig.Series = append(plan.fig.Series, Series{Label: "No Change"})
 	for _, cpus := range opts.cap(ia32CPUs) {
-		mean, err := ConfSyncProbe(mach, cpus, 16, 64, 0, false, opts.seed())
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, Point{CPUs: cpus, Value: mean.Seconds()})
+		plan.cells = append(plan.cells, planCell{
+			series: 0,
+			cpus:   cpus,
+			desc:   fmt.Sprintf("fig8c %d CPUs", cpus),
+			spec:   ConfSyncSpec{Machine: mach, CPUs: cpus, Seed: opts.seed()},
+			value:  confSyncValue,
+		})
 	}
-	fig.Series = append(fig.Series, s)
-	return fig, nil
+	return plan
+}
+
+// Fig8c reproduces Figure 8(c) (see planFig8c).
+func Fig8c(opts Options) (*Figure, error) {
+	return NewRunner(opts).runPlan(planFig8c(opts))
 }
 
 // fig9Args shrinks each application's deck: Figure 9 measures dynprof's
@@ -278,30 +285,73 @@ var fig9Args = map[string]map[string]int{
 	"umt98":   {"zones": 64, "angles": 8, "iters": 1},
 }
 
-// Fig9 reproduces Figure 9: the time used by dynprof to create and
+// planFig9 enumerates Figure 9: the time used by dynprof to create and
 // instrument each ASCI kernel across the processor sweep. The Umt98 line
 // stays flat: "there is only a single OpenMP process to instrument".
-func Fig9(opts Options) (*Figure, error) {
-	fig := &Figure{
+func planFig9(opts Options) (*figurePlan, error) {
+	plan := &figurePlan{fig: &Figure{
 		ID:     "fig9",
 		Title:  "Time to create and instrument",
 		XLabel: "CPUs",
 		YLabel: "Time (s)",
-	}
-	for _, name := range apps.Names() {
+	}}
+	for si, name := range apps.Names() {
 		app, err := apps.Get(name)
 		if err != nil {
 			return nil, err
 		}
-		s := Series{Label: app.Name}
+		plan.fig.Series = append(plan.fig.Series, Series{Label: app.Name})
 		for _, cpus := range opts.cap(cpusFor(app)) {
-			res, err := RunPolicy(opts.machine(), app, Dynamic, cpus, fig9Args[name], opts.seed())
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s/%d: %w", name, cpus, err)
-			}
-			s.Points = append(s.Points, Point{CPUs: cpus, Value: res.CreateAndInstrument.Seconds()})
+			plan.cells = append(plan.cells, planCell{
+				series: si,
+				cpus:   cpus,
+				desc:   fmt.Sprintf("fig9 %s/%d", name, cpus),
+				spec:   RunSpec{App: name, Policy: Dynamic, CPUs: cpus, Machine: opts.Machine, Args: fig9Args[name], Seed: opts.seed()},
+				value:  func(v any) float64 { return v.(Result).CreateAndInstrument.Seconds() },
+			})
 		}
-		fig.Series = append(fig.Series, s)
 	}
-	return fig, nil
+	return plan, nil
+}
+
+// Fig9 reproduces Figure 9 (see planFig9).
+func Fig9(opts Options) (*Figure, error) {
+	plan, err := planFig9(opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewRunner(opts).runPlan(plan)
+}
+
+// planHybrid enumerates the Section 5.1 hybrid comparison: Sppm runs with
+// and without dynamically inserted VT_confsync safe points, across a
+// small processor sweep.
+func planHybrid(opts Options) *figurePlan {
+	plan := &figurePlan{fig: &Figure{
+		ID:     "hybrid",
+		Title:  "Hybrid: dynamically inserted VT_confsync points (Sppm)",
+		XLabel: "CPUs",
+		YLabel: "Time (s)",
+	}}
+	for si, variant := range []struct {
+		label  string
+		points bool
+	}{{"plain", false}, {"confsync-points", true}} {
+		plan.fig.Series = append(plan.fig.Series, Series{Label: variant.label})
+		for _, cpus := range opts.cap(hybridCPUs) {
+			plan.cells = append(plan.cells, planCell{
+				series: si,
+				cpus:   cpus,
+				desc:   fmt.Sprintf("hybrid %s/%d CPUs", variant.label, cpus),
+				spec:   HybridSpec{WithPoints: variant.points, CPUs: cpus, Machine: opts.Machine, Seed: opts.seed()},
+				value:  func(v any) float64 { return v.(HybridResult).Elapsed.Seconds() },
+			})
+		}
+	}
+	return plan
+}
+
+// Hybrid reproduces the Section 5.1 hybrid comparison (see planHybrid).
+func Hybrid(opts Options) (*Figure, error) {
+	return NewRunner(opts).runPlan(planHybrid(opts))
 }

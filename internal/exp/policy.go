@@ -127,28 +127,11 @@ type Result struct {
 
 // RunPolicy executes one (application, policy, CPU count) cell and returns
 // its measurements. The seed fixes all simulated asynchrony.
+//
+// Deprecated: use Run with a RunSpec — the spec form carries a canonical
+// Key for dedup/caching and is what exp.Runner schedules.
 func RunPolicy(mach *machine.Config, app *guide.App, p Policy, cpus int, args map[string]int, seed uint64) (Result, error) {
-	res := Result{App: app.Name, Policy: p, CPUs: cpus}
-	if p == Dynamic {
-		return runDynamic(mach, app, cpus, args, seed)
-	}
-	bin, err := guide.Build(app, BuildOptsFor(app, p))
-	if err != nil {
-		return res, err
-	}
-	s := des.NewScheduler(seed)
-	j, err := guide.Launch(s, mach, bin, guide.LaunchOpts{Procs: cpus, Args: args, CountOnly: true})
-	if err != nil {
-		return res, err
-	}
-	if err := s.Run(); err != nil {
-		return res, err
-	}
-	res.Elapsed = j.MainElapsed()
-	for i := range j.Processes() {
-		res.TraceBytes += j.VT(i).TraceBytes()
-	}
-	return res, nil
+	return Run(RunSpec{AppDef: app, Policy: p, CPUs: cpus, Machine: mach, Args: args, Seed: seed})
 }
 
 // runDynamic measures the Dynamic policy: dynprof spawns the target,

@@ -1,0 +1,371 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dynprof/internal/des"
+)
+
+// planCell is one schedulable cell of a figure: the spec to execute and
+// where its extracted value lands in the assembled figure.
+type planCell struct {
+	series int    // index into fig.Series
+	cpus   int    // x coordinate of the produced point
+	desc   string // human-readable cell label for error wrapping
+	spec   cellSpec
+	value  func(any) float64 // extracts the plotted value from the result
+}
+
+// figurePlan is a figure skeleton (ID, labels, empty series) plus its
+// cell work-list in presentation order.
+type figurePlan struct {
+	fig   *Figure
+	cells []planCell
+}
+
+// FigureIDs lists the figure identifiers the Runner can enumerate, in
+// presentation order.
+func FigureIDs() []string {
+	return []string{"fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig8c", "fig9", "hybrid"}
+}
+
+// planFor builds the cell work-list of one figure.
+func planFor(id string, opts Options) (*figurePlan, error) {
+	switch id {
+	case "fig7a":
+		return planFig7("smg98", opts)
+	case "fig7b":
+		return planFig7("sppm", opts)
+	case "fig7c":
+		return planFig7("sweep3d", opts)
+	case "fig7d":
+		return planFig7("umt98", opts)
+	case "fig8a":
+		return planFig8a(opts), nil
+	case "fig8b":
+		return planFig8b(opts), nil
+	case "fig8c":
+		return planFig8c(opts), nil
+	case "fig9":
+		return planFig9(opts)
+	case "hybrid":
+		return planHybrid(opts), nil
+	default:
+		return nil, fmt.Errorf("exp: unknown figure %q (have %v)", id, FigureIDs())
+	}
+}
+
+// Metrics is a snapshot of a Runner's cumulative counters.
+type Metrics struct {
+	// Cells is the number of cells requested (including cache hits).
+	Cells int
+	// Runs is the number of specs actually executed.
+	Runs int
+	// CacheHits is the number of cells served from the memo cache.
+	CacheHits int
+	// Wall is the host wall-clock time spent inside Figures/Run calls.
+	Wall time.Duration
+	// Busy is the summed per-worker host time executing cells.
+	Busy time.Duration
+	// Virtual is the total simulated time covered by executed cells.
+	Virtual des.Time
+	// Workers is the pool size of the most recent Figures call.
+	Workers int
+}
+
+// Utilization reports Busy as a fraction of Wall across the worker pool
+// (1.0 = every worker executed cells for the whole run).
+func (m Metrics) Utilization() float64 {
+	if m.Wall <= 0 || m.Workers <= 0 {
+		return 0
+	}
+	u := float64(m.Busy) / (float64(m.Wall) * float64(m.Workers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// CellEvent describes one assembled figure cell. Events are emitted in
+// deterministic presentation order, after all cells have executed: every
+// field of the stream is identical at any parallelism except WallMS,
+// which measures the host.
+type CellEvent struct {
+	Figure   string  `json:"figure"`
+	Series   string  `json:"series"`
+	CPUs     int     `json:"cpus"`
+	Key      string  `json:"key"`
+	Value    float64 `json:"value"`
+	CacheHit bool    `json:"cache_hit"`
+	// WallMS is the host milliseconds spent executing the cell (0 when
+	// the cell was served from the cache).
+	WallMS float64 `json:"wall_ms"`
+	// SimS is the simulated seconds the cell's run covered.
+	SimS float64 `json:"sim_s"`
+}
+
+// cacheEntry is one memoized cell execution.
+type cacheEntry struct {
+	val  any
+	err  error
+	wall time.Duration
+	virt des.Time
+}
+
+// Runner schedules experiment cells: it enumerates the work-list of any
+// set of figures, executes unique cells on a bounded worker pool,
+// memoizes results by spec key across figures and calls, and reassembles
+// each figure in deterministic order — parallel output is byte-identical
+// to sequential. A Runner is safe for concurrent use.
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+	met   Metrics
+}
+
+// NewRunner returns a Runner with an empty memo cache.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts, cache: make(map[string]*cacheEntry)}
+}
+
+// parallelism resolves the worker pool bound.
+func (r *Runner) parallelism() int {
+	if r.opts.Parallelism > 0 {
+		return r.opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Metrics returns a snapshot of the Runner's counters.
+func (r *Runner) Metrics() Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.met
+}
+
+// Figure enumerates, executes and assembles one figure by ID.
+func (r *Runner) Figure(id string) (*Figure, error) {
+	figs, err := r.Figures(id)
+	if err != nil {
+		return nil, err
+	}
+	return figs[0], nil
+}
+
+// Figures enumerates the full cell work-list of the requested figures,
+// executes unique cells on the worker pool (cells shared between figures
+// run exactly once), and assembles the figures in request order.
+func (r *Runner) Figures(ids ...string) ([]*Figure, error) {
+	plans := make([]*figurePlan, len(ids))
+	for i, id := range ids {
+		p, err := planFor(id, r.opts)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+	}
+	return r.runPlans(plans)
+}
+
+// runPlan executes a single pre-built plan.
+func (r *Runner) runPlan(plan *figurePlan) (*Figure, error) {
+	figs, err := r.runPlans([]*figurePlan{plan})
+	if err != nil {
+		return nil, err
+	}
+	return figs[0], nil
+}
+
+// runPlans is the scheduling core: dedup the combined work-list against
+// the memo cache, drain it through the worker pool, then assemble every
+// figure (and emit cell events) in deterministic order.
+func (r *Runner) runPlans(plans []*figurePlan) ([]*Figure, error) {
+	start := time.Now()
+
+	// Enumerate: one job per spec key that is neither cached nor already
+	// queued in this call.
+	var jobs []cellSpec
+	queued := make(map[string]bool)
+	total := 0
+	r.mu.Lock()
+	for _, p := range plans {
+		for _, c := range p.cells {
+			total++
+			k := c.spec.Key()
+			if queued[k] {
+				continue
+			}
+			if _, ok := r.cache[k]; ok {
+				continue
+			}
+			queued[k] = true
+			jobs = append(jobs, c.spec)
+		}
+	}
+	hits := total - len(jobs)
+	r.met.Cells += total
+	r.met.CacheHits += hits
+	done := hits
+	r.mu.Unlock()
+	if r.opts.Progress != nil && total > 0 {
+		r.opts.Progress(done, total, hits)
+	}
+
+	// Execute: drain unique jobs through the bounded pool.
+	workers := r.parallelism()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if len(jobs) > 0 {
+		jobCh := make(chan cellSpec)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for spec := range jobCh {
+					t0 := time.Now()
+					val, err := spec.runCell()
+					e := &cacheEntry{val: val, err: err, wall: time.Since(t0), virt: virtualOf(val)}
+					r.mu.Lock()
+					r.cache[spec.Key()] = e
+					r.met.Runs++
+					r.met.Busy += e.wall
+					r.met.Virtual += e.virt
+					done++
+					dn := done
+					prog := r.opts.Progress
+					r.mu.Unlock()
+					if prog != nil {
+						prog(dn, total, hits)
+					}
+				}
+			}()
+		}
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+		wg.Wait()
+	}
+
+	// Assemble: walk every plan in presentation order; the first cell
+	// error (deterministically ordered) aborts. The first occurrence of a
+	// key executed in this call is reported as a fresh run, every other
+	// occurrence as a cache hit.
+	emitted := make(map[string]bool)
+	figs := make([]*Figure, len(plans))
+	for i, p := range plans {
+		for _, c := range p.cells {
+			k := c.spec.Key()
+			r.mu.Lock()
+			e := r.cache[k]
+			r.mu.Unlock()
+			if e == nil {
+				return nil, fmt.Errorf("exp: %s: cell %q missing after run", c.desc, k)
+			}
+			if e.err != nil {
+				return nil, fmt.Errorf("%s: %w", c.desc, e.err)
+			}
+			v := c.value(e.val)
+			p.fig.Series[c.series].Points = append(p.fig.Series[c.series].Points, Point{CPUs: c.cpus, Value: v})
+			if r.opts.OnCell != nil {
+				fresh := queued[k] && !emitted[k]
+				ev := CellEvent{
+					Figure:   p.fig.ID,
+					Series:   p.fig.Series[c.series].Label,
+					CPUs:     c.cpus,
+					Key:      k,
+					Value:    v,
+					CacheHit: !fresh,
+					SimS:     e.virt.Seconds(),
+				}
+				if fresh {
+					ev.WallMS = float64(e.wall) / float64(time.Millisecond)
+				}
+				r.opts.OnCell(ev)
+			}
+			emitted[k] = true
+		}
+		figs[i] = p.fig
+	}
+
+	r.mu.Lock()
+	r.met.Wall += time.Since(start)
+	if workers > 0 {
+		r.met.Workers = workers
+	}
+	r.mu.Unlock()
+	return figs, nil
+}
+
+// virtualOf extracts the simulated time a cell result covered.
+func virtualOf(val any) des.Time {
+	switch v := val.(type) {
+	case Result:
+		return v.Elapsed
+	case ConfSyncResult:
+		return v.Mean
+	case HybridResult:
+		return v.Elapsed
+	}
+	return 0
+}
+
+// Run executes spec through the Runner's memo cache: a spec whose key has
+// already run (in any prior Run or Figures call) returns the cached
+// result without re-simulating.
+func (r *Runner) Run(spec RunSpec) (Result, error) {
+	v, err := r.runMemo(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return v.(Result), nil
+}
+
+// RunConfSync is the memoized form of the package-level RunConfSync.
+func (r *Runner) RunConfSync(spec ConfSyncSpec) (ConfSyncResult, error) {
+	v, err := r.runMemo(spec)
+	if err != nil {
+		return ConfSyncResult{}, err
+	}
+	return v.(ConfSyncResult), nil
+}
+
+// RunHybrid is the memoized form of the package-level RunHybrid.
+func (r *Runner) RunHybrid(spec HybridSpec) (HybridResult, error) {
+	v, err := r.runMemo(spec)
+	if err != nil {
+		return HybridResult{}, err
+	}
+	return v.(HybridResult), nil
+}
+
+// runMemo serves one spec through the cache, executing it on a miss.
+func (r *Runner) runMemo(spec cellSpec) (any, error) {
+	k := spec.Key()
+	r.mu.Lock()
+	r.met.Cells++
+	if e, ok := r.cache[k]; ok {
+		r.met.CacheHits++
+		r.mu.Unlock()
+		return e.val, e.err
+	}
+	r.mu.Unlock()
+	t0 := time.Now()
+	val, err := spec.runCell()
+	e := &cacheEntry{val: val, err: err, wall: time.Since(t0), virt: virtualOf(val)}
+	r.mu.Lock()
+	r.cache[k] = e
+	r.met.Runs++
+	r.met.Busy += e.wall
+	r.met.Wall += e.wall
+	r.met.Virtual += e.virt
+	r.mu.Unlock()
+	return val, err
+}

@@ -1,0 +1,348 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dynprof/internal/apps"
+	"dynprof/internal/core"
+	"dynprof/internal/des"
+	"dynprof/internal/guide"
+	"dynprof/internal/machine"
+	"dynprof/internal/vt"
+)
+
+// DefaultSeed is the simulation seed used when none is requested. Every
+// figure of the paper is regenerated with this seed unless overridden.
+const DefaultSeed uint64 = 2003
+
+// Defaults for ConfSyncSpec's zero fields (the Figure 8 probe shape:
+// "averaged over 16 calls" against a 64-entry function table).
+const (
+	DefaultConfSyncReps  = 16
+	DefaultConfSyncFuncs = 64
+)
+
+// cellSpec is the common shape of a runnable experiment descriptor: every
+// spec canonicalises to a Key for memoization and knows how to execute
+// itself inside a fresh deterministic simulation.
+type cellSpec interface {
+	// Key canonicalises the spec: two specs with equal keys describe the
+	// same deterministic run and may share one execution.
+	Key() string
+	// runCell executes the cell and returns its typed result.
+	runCell() (any, error)
+}
+
+// RunSpec is a first-class descriptor of one experiment cell: a single
+// deterministic DES run of an application under an instrumentation policy
+// on a CPU count. The zero values select the defaults documented per
+// field; Seed is taken literally (seed 0 is a valid seed — the figure
+// harness fills in DefaultSeed via Options, not here).
+type RunSpec struct {
+	// App names a registered ASCI kernel (see internal/apps). Ignored
+	// when AppDef is set.
+	App string
+	// AppDef optionally supplies a custom application definition instead
+	// of a registry lookup. Its Name feeds the spec key, so distinct
+	// custom apps must use distinct names for correct memoization.
+	AppDef *guide.App
+	// Policy is the Table 3 instrumentation policy.
+	Policy Policy
+	// CPUs is the number of MPI ranks (or OpenMP threads).
+	CPUs int
+	// Machine is the simulated platform (nil = the IBM Power3 cluster).
+	// The config's Name feeds the spec key, so custom presets must use
+	// distinct names for correct memoization.
+	Machine *machine.Config
+	// Args overrides the application's input deck.
+	Args map[string]int
+	// Seed fixes all simulated asynchrony (used literally; 0 is valid).
+	Seed uint64
+}
+
+// app resolves the application definition.
+func (s RunSpec) app() (*guide.App, error) {
+	if s.AppDef != nil {
+		return s.AppDef, nil
+	}
+	return apps.Get(s.App)
+}
+
+// machine resolves the platform.
+func (s RunSpec) machine() *machine.Config {
+	if s.Machine != nil {
+		return s.Machine
+	}
+	return machine.IBMPower3Cluster()
+}
+
+// Key canonicalises the spec for dedup/caching: identical keys describe
+// byte-identical deterministic runs.
+func (s RunSpec) Key() string {
+	name := s.App
+	if s.AppDef != nil {
+		name = s.AppDef.Name
+	}
+	return fmt.Sprintf("run|%s|%s|cpus=%d|%s|%s|seed=%d",
+		name, s.Policy, s.CPUs, s.machine().Name, argsKey(s.Args), s.Seed)
+}
+
+func (s RunSpec) runCell() (any, error) { return Run(s) }
+
+// argsKey renders an input deck in sorted-key order.
+func argsKey(args map[string]int) string {
+	if len(args) == 0 {
+		return "args{}"
+	}
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("args{")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, args[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Run executes one experiment cell described by spec and returns its
+// measurements. Every run happens inside a fresh scheduler, so concurrent
+// Run calls on distinct specs are safe.
+func Run(spec RunSpec) (Result, error) {
+	app, err := spec.app()
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{App: app.Name, Policy: spec.Policy, CPUs: spec.CPUs}
+	if spec.Policy == Dynamic {
+		return runDynamic(spec.machine(), app, spec.CPUs, spec.Args, spec.Seed)
+	}
+	bin, err := guide.Build(app, BuildOptsFor(app, spec.Policy))
+	if err != nil {
+		return res, err
+	}
+	s := des.NewScheduler(spec.Seed)
+	j, err := guide.Launch(s, spec.machine(), bin, guide.LaunchOpts{Procs: spec.CPUs, Args: spec.Args, CountOnly: true})
+	if err != nil {
+		return res, err
+	}
+	if err := s.Run(); err != nil {
+		return res, err
+	}
+	res.Elapsed = j.MainElapsed()
+	for i := range j.Processes() {
+		res.TraceBytes += j.VT(i).TraceBytes()
+	}
+	return res, nil
+}
+
+// ConfSyncSpec describes one VT_confsync probe cell (Figure 8): the mean
+// cost over Reps repetitions of calling ConfSync on a CPUs-rank world,
+// with or without staged configuration changes and with or without the
+// runtime-statistics dump.
+type ConfSyncSpec struct {
+	// Machine is the simulated platform (nil = the IBM Power3 cluster).
+	Machine *machine.Config
+	// CPUs is the MPI world size.
+	CPUs int
+	// Reps is the number of ConfSync calls averaged (0 = DefaultConfSyncReps).
+	Reps int
+	// NFuncs is the size of the populated function table (0 = DefaultConfSyncFuncs).
+	NFuncs int
+	// Changes is the number of configuration changes staged per repetition
+	// (0 = none, the "No Change" variant).
+	Changes int
+	// WriteStats requests the runtime-statistics dump on every ConfSync.
+	WriteStats bool
+	// Seed fixes all simulated asynchrony (used literally; 0 is valid).
+	Seed uint64
+}
+
+// norm fills in the documented defaults.
+func (s ConfSyncSpec) norm() ConfSyncSpec {
+	if s.Machine == nil {
+		s.Machine = machine.IBMPower3Cluster()
+	}
+	if s.Reps == 0 {
+		s.Reps = DefaultConfSyncReps
+	}
+	if s.NFuncs == 0 {
+		s.NFuncs = DefaultConfSyncFuncs
+	}
+	return s
+}
+
+// Key canonicalises the spec (defaults resolved first, so a zero Reps and
+// an explicit DefaultConfSyncReps share one execution).
+func (s ConfSyncSpec) Key() string {
+	n := s.norm()
+	return fmt.Sprintf("confsync|cpus=%d|reps=%d|nfuncs=%d|changes=%d|stats=%t|%s|seed=%d",
+		n.CPUs, n.Reps, n.NFuncs, n.Changes, n.WriteStats, n.Machine.Name, n.Seed)
+}
+
+func (s ConfSyncSpec) runCell() (any, error) { return RunConfSync(s) }
+
+// ConfSyncResult is one measured ConfSync probe.
+type ConfSyncResult struct {
+	CPUs int
+	// Mean is the per-call cost averaged over the spec's repetitions.
+	Mean des.Time
+}
+
+// RunConfSync executes one VT_confsync probe cell.
+func RunConfSync(spec ConfSyncSpec) (ConfSyncResult, error) {
+	spec = spec.norm()
+	res := ConfSyncResult{CPUs: spec.CPUs}
+	app := &guide.App{
+		Name:  "csync",
+		Lang:  guide.MPIC,
+		Funcs: []guide.Func{{Name: "cs_compute", Size: 30}},
+		Main:  nil,
+	}
+	var total des.Time
+	app.Main = func(c *guide.Ctx) {
+		c.MPI.Init()
+		// Populate the library with a realistic function table and some
+		// statistics content.
+		for i := 0; i < spec.NFuncs; i++ {
+			id := c.VT.FuncDef(fmt.Sprintf("func_%03d", i))
+			c.VT.Begin(c.T, id)
+			c.VT.End(c.T, id)
+		}
+		for rep := 0; rep < spec.Reps; rep++ {
+			c.Call("cs_compute", func() { c.T.Work(400_000) })
+			if c.MPI.Rank() == 0 && spec.Changes > 0 {
+				chs := make([]vt.Change, spec.Changes)
+				for i := range chs {
+					chs[i] = vt.Change{Pattern: fmt.Sprintf("func_%03d", (rep+i)%spec.NFuncs), Active: rep%2 == 0}
+				}
+				c.VT.QueueChanges(chs)
+			}
+			c.T.Sync()
+			t0 := c.T.Now()
+			c.VT.ConfSync(c.MPI, spec.WriteStats, nil)
+			c.T.Sync()
+			if c.MPI.Rank() == 0 {
+				total += c.T.Now() - t0
+			}
+		}
+		c.MPI.Finalize()
+	}
+	bin, err := guide.Build(app, guide.BuildOpts{})
+	if err != nil {
+		return res, err
+	}
+	s := des.NewScheduler(spec.Seed)
+	j, err := guide.Launch(s, spec.Machine, bin, guide.LaunchOpts{Procs: spec.CPUs, CountOnly: true})
+	if err != nil {
+		return res, err
+	}
+	if err := s.Run(); err != nil {
+		return res, err
+	}
+	if !j.Done() {
+		return res, fmt.Errorf("exp: confsync probe did not finish")
+	}
+	res.Mean = total / des.Time(spec.Reps)
+	return res, nil
+}
+
+// defaultHybridArgs is the Section 5.1 hybrid deck: a short Sppm run.
+var defaultHybridArgs = map[string]int{"nx": 8, "ny": 8, "nz": 8, "steps": 6}
+
+// HybridSpec describes one Section 5.1 hybrid cell: an Sppm run whose
+// VT_confsync safe points are (optionally) inserted dynamically by
+// dynprof before the main computation starts.
+type HybridSpec struct {
+	// WithPoints inserts a VT_confsync call gate at sppm_StepDriver.
+	WithPoints bool
+	// CPUs is the number of MPI ranks (0 = 4).
+	CPUs int
+	// Machine is the simulated platform (nil = the IBM Power3 cluster).
+	Machine *machine.Config
+	// Args overrides the hybrid deck (nil = the short Sppm deck).
+	Args map[string]int
+	// Seed fixes all simulated asynchrony (used literally; 0 is valid).
+	Seed uint64
+}
+
+func (s HybridSpec) norm() HybridSpec {
+	if s.CPUs == 0 {
+		s.CPUs = 4
+	}
+	if s.Machine == nil {
+		s.Machine = machine.IBMPower3Cluster()
+	}
+	if s.Args == nil {
+		s.Args = defaultHybridArgs
+	}
+	return s
+}
+
+// Key canonicalises the spec (defaults resolved first).
+func (s HybridSpec) Key() string {
+	n := s.norm()
+	return fmt.Sprintf("hybrid|points=%t|cpus=%d|%s|%s|seed=%d",
+		n.WithPoints, n.CPUs, n.Machine.Name, argsKey(n.Args), n.Seed)
+}
+
+func (s HybridSpec) runCell() (any, error) { return RunHybrid(s) }
+
+// HybridResult is one measured hybrid run.
+type HybridResult struct {
+	CPUs int
+	// Elapsed is the main computation's virtual execution time.
+	Elapsed des.Time
+	// CreateAndInstrument is dynprof's startup cost for the run.
+	CreateAndInstrument des.Time
+}
+
+// RunHybrid executes one hybrid cell: dynprof spawns Sppm, optionally
+// plants the confsync safe point, starts the target and detaches.
+func RunHybrid(spec HybridSpec) (HybridResult, error) {
+	spec = spec.norm()
+	res := HybridResult{CPUs: spec.CPUs}
+	app, err := apps.Get("sppm")
+	if err != nil {
+		return res, err
+	}
+	s := des.NewScheduler(spec.Seed)
+	var ss *core.Session
+	var sessErr error
+	s.Spawn("dynprof", func(p *des.Proc) {
+		ss, sessErr = core.NewSession(p, core.Config{
+			Machine:   spec.Machine,
+			App:       app,
+			Procs:     spec.CPUs,
+			Args:      spec.Args,
+			CountOnly: true,
+		})
+		if sessErr != nil {
+			return
+		}
+		if spec.WithPoints {
+			if sessErr = ss.InsertConfSyncAt(p, "sppm_StepDriver"); sessErr != nil {
+				return
+			}
+		}
+		ss.Start(p)
+		ss.Quit(p)
+	})
+	if err := s.Run(); err != nil {
+		return res, err
+	}
+	if sessErr != nil {
+		return res, sessErr
+	}
+	res.Elapsed = ss.Job().MainElapsed()
+	res.CreateAndInstrument = ss.CreateAndInstrumentTime()
+	return res, nil
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# verify.sh — the repository's tier-1 gate plus a race pass over the
+# experiment harness (exp.Runner's worker pool is the only real
+# concurrency in the repo; the DES itself is sequential by design).
+set -eux
+
+go build ./...
+go vet ./...
+go test ./...
+
+# Short -race pass over the parallel cell runner.
+go test -race -run 'TestParallel|TestCellCache|TestRunner' ./internal/exp/
