@@ -121,7 +121,7 @@ func BenchmarkFig8cIA32(b *testing.B) {
 	for _, cpus := range []int{2, 8, 16} {
 		cpus := cpus
 		b.Run(fmt.Sprintf("%dcpu", cpus), func(b *testing.B) {
-			spec := exp.ConfSyncSpec{Machine: machine.IA32LinuxCluster(), CPUs: cpus, Seed: exp.DefaultSeed}
+			spec := exp.ConfSyncSpec{Machine: machine.MustNew("ia32-linux"), CPUs: cpus, Seed: exp.DefaultSeed}
 			var res exp.ConfSyncResult
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -256,7 +256,7 @@ func BenchmarkProbeInsertRemove(b *testing.B) {
 	v := vt.NewCtx(vt.Options{Rank: 0, Collector: col})
 	v.Initialize(nil)
 	s := des.NewScheduler(1)
-	j, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: 1, Hold: true})
+	j, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: 1, Hold: true})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -49,14 +49,17 @@ func run() error {
 	if !found {
 		return fmt.Errorf("unknown policy %q", *policyName)
 	}
-	var mach *machine.Config
-	switch *machName {
+	// Legacy aliases predating the preset registry.
+	preset := *machName
+	switch preset {
 	case "ibm":
-		mach = machine.IBMPower3Cluster()
+		preset = "ibm-power3"
 	case "ia32":
-		mach = machine.IA32LinuxCluster()
-	default:
-		return fmt.Errorf("unknown machine %q", *machName)
+		preset = "ia32-linux"
+	}
+	mach, err := machine.New(preset)
+	if err != nil {
+		return err
 	}
 
 	deck := make(map[string]int)

@@ -156,14 +156,14 @@ func run() error {
 }
 
 func pickMachine(name string) (*machine.Config, error) {
+	// Legacy aliases predating the preset registry.
 	switch name {
 	case "ibm":
-		return machine.IBMPower3Cluster(), nil
+		name = "ibm-power3"
 	case "ia32":
-		return machine.IA32LinuxCluster(), nil
-	default:
-		return nil, fmt.Errorf("unknown machine %q (want ibm or ia32)", name)
+		name = "ia32-linux"
 	}
+	return machine.New(name)
 }
 
 // parseDeck parses key=val input-deck overrides.

@@ -7,6 +7,7 @@
 //	experiments -all -parallel 8  # same bytes, one cell per worker
 //	experiments -fig7a -fig9      # selected figures
 //	experiments -table2 -table3   # tables only
+//	experiments -faults           # fault-injection sweep
 //	experiments -fig7a -csv       # CSV output
 //	experiments -fig7a -max-cpus 8  # truncate the CPU sweep
 //	experiments -all -jsonl cells.jsonl -progress  # observable run
@@ -45,6 +46,7 @@ func run() error {
 		fig8c    = flag.Bool("fig8c", false, "Figure 8(c): VT_confsync on IA32")
 		fig9     = flag.Bool("fig9", false, "Figure 9: time to create and instrument")
 		hybrid   = flag.Bool("hybrid", false, "Section 5.1 hybrid: dynamically inserted confsync points")
+		faults   = flag.Bool("faults", false, "fault-injection sweep: run and confsync cost vs fault intensity")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		maxCPUs  = flag.Int("max-cpus", 0, "truncate CPU sweeps (0 = the paper's full range)")
 		seed     = flag.Uint64("seed", exp.DefaultSeed, "simulation seed")
@@ -126,6 +128,7 @@ func run() error {
 		{*all || *fig8c, "fig8c"},
 		{*all || *fig9, "fig9"},
 		{*hybrid, "hybrid"},
+		{*faults, "faults"},
 	} {
 		if f.on {
 			ids = append(ids, f.id)

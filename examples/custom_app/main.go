@@ -92,7 +92,7 @@ func main() {
 		log.Fatal(err)
 	}
 	s := des.NewScheduler(99)
-	j, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: 8})
+	j, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -37,7 +37,7 @@ func main() {
 		},
 	}
 
-	mach := machine.IBMPower3Cluster()
+	mach := machine.MustNew("ibm-power3")
 	bin, err := guide.Build(app, guide.BuildOpts{StaticInstrument: true})
 	if err != nil {
 		log.Fatal(err)

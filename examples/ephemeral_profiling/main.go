@@ -26,7 +26,7 @@ func main() {
 	var hot []string
 	s.Spawn("dynprof", func(p *des.Proc) {
 		session, err = core.NewSession(p, core.Config{
-			Machine: machine.IBMPower3Cluster(),
+			Machine: machine.MustNew("ibm-power3"),
 			App:     app,
 			Procs:   4,
 			Args:    map[string]int{"nx": 10, "ny": 10, "nz": 10, "steps": 500},

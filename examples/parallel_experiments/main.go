@@ -15,25 +15,25 @@ import (
 )
 
 func main() {
-	// A custom preset: a small cluster of wide nodes with a faster clock
-	// than the paper's Power3 system. Presets are plain structs — the
-	// only rule is a unique Name, which feeds every spec's cache key.
-	mach := &machine.Config{
-		Name:        "example 16x16 @ 1 GHz",
-		Nodes:       16,
-		CPUsPerNode: 16,
-		ClockHz:     1e9,
-		Net: machine.Network{
+	// A custom machine: start from a registered preset and override it
+	// with functional options. The only rule is a unique Name, which
+	// feeds every spec's cache key.
+	mach := machine.MustNew("ibm-power3",
+		machine.WithName("example 16x16 @ 1 GHz"),
+		machine.WithNodes(16),
+		machine.WithCPUsPerNode(16),
+		machine.WithClockHz(1e9),
+		machine.WithNetwork(machine.Network{
 			Latency:      10 * des.Microsecond,
 			SendOverhead: 2 * des.Microsecond,
 			RecvOverhead: 2 * des.Microsecond,
 			Bandwidth:    1e9,
 			ShmLatency:   1 * des.Microsecond,
 			ShmBandwidth: 4e9,
-		},
-		DaemonLatency: 150 * des.Microsecond,
-		DaemonJitter:  0.35,
-	}
+		}),
+		machine.WithDaemonLatency(150*des.Microsecond),
+		machine.WithDaemonJitter(0.35),
+	)
 
 	// One Runner owns the worker pool and the cross-figure memo cache.
 	// OnCell streams every assembled cell in deterministic order, so the

@@ -32,7 +32,7 @@ func main() {
 		// NewSession spawns the target held at its first instruction,
 		// attaches DPCL daemons, and plants the MPI_Init callback.
 		session, err = core.NewSession(p, core.Config{
-			Machine:   machine.IBMPower3Cluster(),
+			Machine:   machine.MustNew("ibm-power3"),
 			App:       app,
 			BuildOpts: guide.BuildOpts{TraceMPI: true},
 			Procs:     4,

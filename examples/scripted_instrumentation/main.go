@@ -38,7 +38,7 @@ quit
 	var session *core.Session
 	s.Spawn("dynprof", func(p *des.Proc) {
 		session, err = core.NewSession(p, core.Config{
-			Machine: machine.IBMPower3Cluster(),
+			Machine: machine.MustNew("ibm-power3"),
 			App:     app,
 			Procs:   4,
 			Args:    map[string]int{"nx": 10, "ny": 10, "nz": 10, "steps": 400},

@@ -33,7 +33,7 @@ func show(name string, procs int, args map[string]int) {
 		log.Fatal(err)
 	}
 	s := des.NewScheduler(5)
-	j, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: procs, Args: args})
+	j, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: procs, Args: args})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -143,8 +143,11 @@ func (k *kernel) sendPlaneHigh(pkg *commPkg) {
 func (k *kernel) waitRecvLow(pkg *commPkg, v *Vector, h *commHandle) {
 	k.call("smg_WaitRecvLow", func() {
 		if h.reqLo != nil {
-			m := k.m.Wait(h.reqLo)
-			k.unpackPlaneLow(pkg, v, m.Payload.([]float64))
+			// A nil payload is a degraded exchange (crashed neighbour):
+			// keep the stale ghost plane.
+			if buf, ok := k.m.Wait(h.reqLo).Payload.([]float64); ok {
+				k.unpackPlaneLow(pkg, v, buf)
+			}
 		}
 		k.work(40)
 	})
@@ -153,8 +156,9 @@ func (k *kernel) waitRecvLow(pkg *commPkg, v *Vector, h *commHandle) {
 func (k *kernel) waitRecvHigh(pkg *commPkg, v *Vector, h *commHandle) {
 	k.call("smg_WaitRecvHigh", func() {
 		if h.reqHi != nil {
-			m := k.m.Wait(h.reqHi)
-			k.unpackPlaneHigh(pkg, v, m.Payload.([]float64))
+			if buf, ok := k.m.Wait(h.reqHi).Payload.([]float64); ok {
+				k.unpackPlaneHigh(pkg, v, buf)
+			}
 		}
 		k.work(40)
 	})

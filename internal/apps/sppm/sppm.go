@@ -368,11 +368,17 @@ func (k *kernel) exchangeBoundary() {
 		if hi < k.size {
 			k.m.Send(hi, ghostTag, bytes, k.packGhost(st.nz-1))
 		}
+		// Nil payloads are degraded exchanges (crashed neighbour): the
+		// survivor keeps its stale ghost cells.
 		if reqLo != nil {
-			k.unpackGhost(-1, k.m.Wait(reqLo).Payload.([]float64))
+			if buf, ok := k.m.Wait(reqLo).Payload.([]float64); ok {
+				k.unpackGhost(-1, buf)
+			}
 		}
 		if reqHi != nil {
-			k.unpackGhost(st.nz, k.m.Wait(reqHi).Payload.([]float64))
+			if buf, ok := k.m.Wait(reqHi).Payload.([]float64); ok {
+				k.unpackGhost(st.nz, buf)
+			}
 		}
 		k.applyBC()
 	})

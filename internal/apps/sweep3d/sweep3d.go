@@ -195,9 +195,12 @@ func (k *kernel) downstream(mu float64) int {
 func (k *kernel) recvBoundary(d direction) (in []float64) {
 	k.call("sweep_RecvBoundary", func() {
 		if up := k.upstream(d.mu); up >= 0 {
-			in = k.m.Recv(up, sweepTag).Payload.([]float64)
-		} else {
-			in = make([]float64, k.ny*k.nz) // vacuum
+			in, _ = k.m.Recv(up, sweepTag).Payload.([]float64)
+		}
+		if in == nil {
+			// Vacuum condition, or a degraded exchange with a crashed
+			// upstream rank (zero-byte release).
+			in = make([]float64, k.ny*k.nz)
 		}
 		k.work(int64(k.ny * k.nz / 2))
 	})

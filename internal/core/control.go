@@ -129,7 +129,9 @@ func (ss *Session) installConfSyncAt(p *des.Proc, fn string) error {
 	if err != nil {
 		return err
 	}
-	ss.cl.Activate(p, probe)
+	if err := ss.cl.Activate(p, probe); err != nil {
+		return err
+	}
 	ss.installed["$confsync@"+fn] = []*dpcl.Probe{probe}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"dynprof/internal/des"
 	"dynprof/internal/dpcl"
+	"dynprof/internal/fault"
 	"dynprof/internal/guide"
 	"dynprof/internal/image"
 	"dynprof/internal/machine"
@@ -131,6 +132,12 @@ func NewSession(p *des.Proc, cfg Config) (*Session, error) {
 // Job exposes the launched target.
 func (ss *Session) Job() *guide.Job { return ss.job }
 
+// Faults merges the fault events of the target job and of the DPCL
+// control network, in time order; empty on fault-free machines.
+func (ss *Session) Faults() []fault.Event {
+	return fault.MergeEvents(ss.job.Faults(), ss.sys.Faults().Events())
+}
+
 // Timefile returns the tool's internal timing record.
 func (ss *Session) Timefile() *Timefile { return ss.tf }
 
@@ -181,7 +188,9 @@ func (ss *Session) insertInitProtocol(p *des.Proc) error {
 	if err != nil {
 		return err
 	}
-	ss.cl.Activate(p, probe)
+	if err := ss.cl.Activate(p, probe); err != nil {
+		return err
+	}
 	ss.initProbe = append(ss.initProbe, probe)
 	return nil
 }
@@ -208,7 +217,9 @@ func (ss *Session) installNow(p *des.Proc, suspend bool, funcs []string) error {
 		// OpenMP targets share one image among all threads, so dynprof
 		// "uses a blocking version of the DPCL suspend function"; for MPI
 		// targets the suspend reaches daemons with differing delays.
-		ss.cl.Suspend(p, procs, true)
+		if err := ss.cl.Suspend(p, procs, true); err != nil {
+			return err
+		}
 		defer ss.cl.Resume(p, procs)
 	}
 	var firstErr error
@@ -256,7 +267,9 @@ func (ss *Session) installFunc(p *des.Proc, f string) error {
 		probes = append(probes, exit)
 	}
 	for _, probe := range probes {
-		ss.cl.Activate(p, probe)
+		if err := ss.cl.Activate(p, probe); err != nil {
+			return err
+		}
 	}
 	ss.installed[f] = probes
 	return nil
@@ -289,7 +302,9 @@ func (ss *Session) Remove(p *des.Proc, funcs ...string) error {
 	stop := ss.tf.Begin("remove", p.Now())
 	defer func() { stop(p.Now()) }()
 	procs := ss.job.Processes()
-	ss.cl.Suspend(p, procs, true)
+	if err := ss.cl.Suspend(p, procs, true); err != nil {
+		return err
+	}
 	defer ss.cl.Resume(p, procs)
 	var firstErr error
 	for _, f := range funcs {

@@ -1,0 +1,120 @@
+package des
+
+import "testing"
+
+// TestRecvTimeoutExpires: a receiver with nothing inbound resumes after
+// exactly the timeout with ok=false.
+func TestRecvTimeoutExpires(t *testing.T) {
+	s := NewScheduler(1)
+	m := NewMailbox(s, "box")
+	var at Time
+	var ok bool
+	s.Spawn("rx", func(p *Proc) {
+		_, ok = p.RecvTimeout(m, 5*Millisecond)
+		at = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("empty mailbox must time out")
+	}
+	if at != 5*Millisecond {
+		t.Errorf("resumed at %v, want 5ms", at)
+	}
+}
+
+// TestRecvTimeoutDelivery: a message inside the window is received
+// normally; queued messages are returned immediately.
+func TestRecvTimeoutDelivery(t *testing.T) {
+	s := NewScheduler(1)
+	m := NewMailbox(s, "box")
+	m.PutAfter(2*Millisecond, "late")
+	var got any
+	var ok bool
+	var at Time
+	s.Spawn("rx", func(p *Proc) {
+		got, ok = p.RecvTimeout(m, 5*Millisecond)
+		at = p.Now()
+		// Mailbox now empty again; an already-queued value returns at once.
+		m.Put("queued")
+		v2, ok2 := p.RecvTimeout(m, Millisecond)
+		if !ok2 || v2 != "queued" {
+			t.Errorf("queued recv = %v/%v", v2, ok2)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || got != "late" || at != 2*Millisecond {
+		t.Errorf("got %v/%v at %v, want late/true at 2ms", got, ok, at)
+	}
+}
+
+// TestRecvTimeoutThenLatePut: after a timeout the expired waiter is gone;
+// a later Put queues the value instead of feeding a stale waiter.
+func TestRecvTimeoutThenLatePut(t *testing.T) {
+	s := NewScheduler(1)
+	m := NewMailbox(s, "box")
+	m.PutAfter(10*Millisecond, "late")
+	s.Spawn("rx", func(p *Proc) {
+		if _, ok := p.RecvTimeout(m, Millisecond); ok {
+			t.Error("recv should have timed out")
+		}
+		p.Advance(20 * Millisecond)
+		if m.Len() != 1 {
+			t.Errorf("late put not queued: len=%d", m.Len())
+		}
+		if v := p.Recv(m); v != "late" {
+			t.Errorf("recv after timeout = %v", v)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKill: a killed Proc stops for good — it no longer advances, and the
+// scheduler neither deadlocks nor leaks its pending wake-ups.
+func TestKill(t *testing.T) {
+	s := NewScheduler(1)
+	var progress int
+	victim := s.Spawn("victim", func(p *Proc) {
+		for {
+			p.Advance(Millisecond)
+			progress++
+		}
+	})
+	s.At(3500*Microsecond, func() { s.Kill(victim) })
+	var after int
+	s.At(10*Millisecond, func() { after = progress })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if progress != 3 || after != 3 {
+		t.Errorf("victim advanced %d/%d times, want 3 then frozen", progress, after)
+	}
+	// Killing again is a no-op.
+	s2 := NewScheduler(1)
+	p2 := s2.Spawn("twice", func(p *Proc) { p.Advance(Millisecond) })
+	s2.At(5*Millisecond, func() { s2.Kill(p2); s2.Kill(p2) })
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillRecvBlocked: killing a Proc parked in Recv does not deadlock
+// the run, and a message later sent to it is swallowed.
+func TestKillRecvBlocked(t *testing.T) {
+	s := NewScheduler(1)
+	m := NewMailbox(s, "box")
+	victim := s.Spawn("victim", func(p *Proc) {
+		p.Recv(m)
+		t.Error("victim must never receive")
+	})
+	s.At(Millisecond, func() { s.Kill(victim) })
+	s.At(2*Millisecond, func() { m.Put("to the dead") })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,9 +11,10 @@ type Mailbox struct {
 }
 
 type mboxWaiter struct {
-	p     *Proc
-	value any
-	ready bool
+	p       *Proc
+	value   any
+	ready   bool
+	expired bool
 }
 
 // NewMailbox creates an empty mailbox owned by s.
@@ -57,6 +58,38 @@ func (p *Proc) Recv(m *Mailbox) any {
 		panic("des: mailbox waiter resumed without a value")
 	}
 	return w.value
+}
+
+// RecvTimeout blocks p until a message is available or d of virtual time
+// passes, whichever comes first. ok is false on timeout. A message
+// arriving at exactly the deadline wins over the timeout if its delivery
+// event was scheduled first — the usual deterministic (time, seq) order.
+func (p *Proc) RecvTimeout(m *Mailbox, d Time) (v any, ok bool) {
+	if len(m.queue) > 0 {
+		v = m.queue[0]
+		m.queue = m.queue[1:]
+		return v, true
+	}
+	w := &mboxWaiter{p: p}
+	m.waiters = append(m.waiters, w)
+	m.s.After(d, func() {
+		if w.ready || w.expired {
+			return
+		}
+		w.expired = true
+		for i, x := range m.waiters {
+			if x == w {
+				m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+				break
+			}
+		}
+		w.p.wake()
+	})
+	p.park("recv-timeout " + m.name)
+	if w.ready {
+		return w.value, true
+	}
+	return nil, false
 }
 
 // TryRecv returns a queued message without blocking; ok is false if the

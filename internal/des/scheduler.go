@@ -82,6 +82,25 @@ func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
 // aborted so their goroutines exit.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// Kill terminates one Proc immediately, modelling a process crash: the
+// Proc's goroutine unwinds and exits, and it never runs again. Pending
+// wake-ups for the Proc become no-ops. Kill must be called from event
+// context (an At/After callback), where no Proc is mid-step; every live
+// Proc is then parked on its resume channel, so the handshake below
+// cannot deadlock. Killing an already-finished Proc is a no-op.
+//
+// A killed Proc that was waiting on a Mailbox stays in that mailbox's
+// waiter list; a message later routed to it is consumed and dropped,
+// like a packet sent to a crashed host.
+func (s *Scheduler) Kill(p *Proc) {
+	if p.done {
+		return
+	}
+	p.killed = true
+	p.resume <- resumeMsg{abort: true}
+	<-p.parked
+}
+
 // DeadlockError is returned by Run when the event queue drains while some
 // Procs are still blocked: nothing can ever wake them again.
 type DeadlockError struct {

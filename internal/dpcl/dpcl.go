@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"dynprof/internal/des"
+	"dynprof/internal/fault"
 	"dynprof/internal/machine"
 	"dynprof/internal/proc"
 )
@@ -60,13 +61,25 @@ type System struct {
 	mach   *machine.Config
 	rng    *des.RNG
 	supers map[int]*superDaemon
+	// inj injects the machine's control-path faults (message loss and
+	// extra delay). Nil on a fault-free machine, in which case every path
+	// below is exactly the pre-fault model.
+	inj *fault.Injector
 }
 
 // NewSystem starts DPCL on the machine (super daemons are materialised
 // lazily per node).
 func NewSystem(s *des.Scheduler, mach *machine.Config) *System {
-	return &System{s: s, mach: mach, rng: s.RNG().Fork(), supers: make(map[int]*superDaemon)}
+	sys := &System{s: s, mach: mach, rng: s.RNG().Fork(), supers: make(map[int]*superDaemon)}
+	if plan := mach.FaultPlan(); !plan.IsZero() {
+		sys.inj = fault.NewInjector(plan, s.RNG().Fork())
+	}
+	return sys
 }
+
+// Faults returns the system's fault injector (nil on a fault-free
+// machine); its event log records drops, retries and timeouts.
+func (sys *System) Faults() *fault.Injector { return sys.inj }
 
 // superDaemon is the per-node root daemon ("there is exactly one super
 // daemon on each node of the system").
@@ -97,14 +110,30 @@ type commDaemon struct {
 }
 
 // deliver schedules m's arrival at the daemon after a jittered latency,
-// never before previously sent messages.
+// never before previously sent messages. Under a fault plan, requests can
+// be silently lost (the client retransmits on ack timeout) and latency is
+// stretched by the plan's delay factor. Lost messages do not advance the
+// FIFO horizon: they never occupied the stream.
 func (d *commDaemon) deliver(m any) {
-	at := d.sys.s.Now() + d.sys.delay()
+	sys := d.sys
+	if req, isReq := m.(*request); isReq && sys.inj.DropCtrl() {
+		sys.inj.Record(sys.s.Now(), fault.KindCtrlDrop, d.node, reqRank(req), req.kind+" request lost")
+		return
+	}
+	at := sys.s.Now() + sys.inj.ScaleCtrl(sys.delay())
 	if at < d.lastArrive {
 		at = d.lastArrive
 	}
 	d.lastArrive = at
-	d.sys.s.At(at, func() { d.inbox.Put(m) })
+	sys.s.At(at, func() { d.inbox.Put(m) })
+}
+
+// reqRank identifies a request's target rank for fault events.
+func reqRank(req *request) int {
+	if req.target == nil {
+		return -1
+	}
+	return req.target.Rank()
 }
 
 // newCommDaemon spawns the daemon's service loop.
@@ -134,23 +163,48 @@ type request struct {
 type shutdownReq struct{}
 
 func (d *commDaemon) serve(p *des.Proc) {
+	// done dedups retransmitted requests (same *request pointer): the
+	// action ran once, lost acks are simply re-sent. Allocated only on
+	// faulted systems — retransmission cannot happen without faults.
+	var done map[*request]bool
 	for {
 		m := p.Recv(d.inbox)
 		if _, stop := m.(shutdownReq); stop {
 			return
 		}
 		req := m.(*request)
+		if done[req] {
+			d.ackTo(req)
+			continue
+		}
 		if req.cost > 0 {
 			p.Advance(req.cost)
 		}
 		if req.run != nil {
 			req.run(p)
 		}
-		if req.reply != nil {
-			// The acknowledgement travels back with its own jitter.
-			req.reply.PutAfter(d.sys.delay(), ack{kind: req.kind, tag: req.tag})
+		if d.sys.inj != nil {
+			if done == nil {
+				done = make(map[*request]bool)
+			}
+			done[req] = true
 		}
+		d.ackTo(req)
 	}
+}
+
+// ackTo sends the acknowledgement back to the client with its own jitter;
+// under a fault plan the ack itself can be lost.
+func (d *commDaemon) ackTo(req *request) {
+	if req.reply == nil {
+		return
+	}
+	sys := d.sys
+	if sys.inj.DropCtrl() {
+		sys.inj.Record(sys.s.Now(), fault.KindCtrlDrop, d.node, reqRank(req), req.kind+" ack lost")
+		return
+	}
+	req.reply.PutAfter(sys.inj.ScaleCtrl(sys.delay()), ack{kind: req.kind, tag: req.tag})
 }
 
 type ack struct {
@@ -255,11 +309,59 @@ func (cl *Client) post(p *des.Proc, pr *proc.Process, req *request, reply bool) 
 	return req.reply
 }
 
-// collect drains one ack per mailbox (blocking the client).
-func collect(p *des.Proc, replies []*des.Mailbox) {
-	for _, mb := range replies {
-		p.Recv(mb)
+// Retry policy for acknowledged requests on a faulted control path: the
+// first retransmission timeout covers a round trip plus the daemon-side
+// action, and backs off exponentially. Under total message loss a
+// transaction gives up after retryAttempts tries — bounded virtual time,
+// never a hung DES.
+const (
+	retrySlackFactor = 4
+	retryAttempts    = 6
+)
+
+// pendingAck tracks one acknowledged request in flight.
+type pendingAck struct {
+	pr  *proc.Process
+	req *request
+}
+
+// collect drains one ack per pending request (blocking the client). On a
+// fault-free system this is a plain blocking Recv per ack — the pre-fault
+// behaviour. On a faulted system each ack is awaited with a timeout;
+// timeouts retransmit with exponential backoff and eventually give up,
+// returning the first timeout error.
+func (cl *Client) collect(p *des.Proc, pending []pendingAck) error {
+	if cl.sys.inj == nil {
+		for _, pa := range pending {
+			p.Recv(pa.req.reply)
+		}
+		return nil
 	}
+	var firstErr error
+	for _, pa := range pending {
+		rto := cl.sys.inj.ScaleCtrl(retrySlackFactor*cl.sys.mach.DaemonLatency) + pa.req.cost
+		acked := false
+		for attempt := 0; attempt < retryAttempts; attempt++ {
+			if _, ok := p.RecvTimeout(pa.req.reply, rto<<attempt); ok {
+				acked = true
+				break
+			}
+			if attempt < retryAttempts-1 {
+				cl.sys.inj.Record(p.Now(), fault.KindCtrlRetry, pa.pr.Node(), pa.pr.Rank(),
+					fmt.Sprintf("%s retransmit #%d", pa.req.kind, attempt+1))
+				cl.daemonFor(pa.pr).deliver(pa.req)
+			}
+		}
+		if !acked {
+			cl.sys.inj.Record(p.Now(), fault.KindCtrlTimeout, pa.pr.Node(), pa.pr.Rank(),
+				fmt.Sprintf("%s gave up after %d attempts", pa.req.kind, retryAttempts))
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dpcl: %s request to %s timed out after %d attempts",
+					pa.req.kind, pa.pr.Name(), retryAttempts)
+			}
+		}
+	}
+	return firstErr
 }
 
 // Disconnect shuts down this client's communication daemons. Probes that

@@ -29,7 +29,7 @@ func (cl *Client) InstallProbe(p *des.Proc, procs []*proc.Process,
 	probe := &Probe{Sym: sym, Kind: kind, Exit: exit, Name: name,
 		hands: make(map[*proc.Process]*image.ProbeHandle, len(procs))}
 	var errs []error
-	var replies []*des.Mailbox
+	var pending []pendingAck
 	for _, pr := range procs {
 		pr := pr
 		req := &request{kind: "install", cost: installTime, run: func(dp *des.Proc) {
@@ -48,42 +48,48 @@ func (cl *Client) InstallProbe(p *des.Proc, procs []*proc.Process,
 			}
 			probe.hands[pr] = h
 		}}
-		replies = append(replies, cl.post(p, pr, req, true))
+		cl.post(p, pr, req, true)
+		pending = append(pending, pendingAck{pr: pr, req: req})
 	}
-	collect(p, replies)
+	if err := cl.collect(p, pending); err != nil {
+		errs = append(errs, err)
+	}
 	if len(errs) > 0 {
 		return nil, errs[0]
 	}
 	return probe, nil
 }
 
-// Activate turns the probe's snippets on in every process. Acknowledged.
-func (cl *Client) Activate(p *des.Proc, probe *Probe) {
-	cl.toggle(p, probe, true)
+// Activate turns the probe's snippets on in every process. Acknowledged;
+// on a faulted control path the error reports targets whose daemons never
+// acknowledged within the retry budget.
+func (cl *Client) Activate(p *des.Proc, probe *Probe) error {
+	return cl.toggle(p, probe, true)
 }
 
 // Deactivate turns the probe's snippets off in every process.
-func (cl *Client) Deactivate(p *des.Proc, probe *Probe) {
-	cl.toggle(p, probe, false)
+func (cl *Client) Deactivate(p *des.Proc, probe *Probe) error {
+	return cl.toggle(p, probe, false)
 }
 
-func (cl *Client) toggle(p *des.Proc, probe *Probe, active bool) {
-	var replies []*des.Mailbox
+func (cl *Client) toggle(p *des.Proc, probe *Probe, active bool) error {
+	var pending []pendingAck
 	for pr, h := range probe.hands {
 		h := h
 		req := &request{kind: "toggle", cost: toggleTime, run: func(dp *des.Proc) {
 			h.SetActive(active)
 		}}
-		replies = append(replies, cl.post(p, pr, req, true))
+		cl.post(p, pr, req, true)
+		pending = append(pending, pendingAck{pr: pr, req: req})
 	}
-	collect(p, replies)
+	return cl.collect(p, pending)
 }
 
 // Remove unlinks the probe from every process, restoring pristine code at
 // probe points whose last snippet goes away.
 func (cl *Client) Remove(p *des.Proc, probe *Probe) error {
 	var errs []error
-	var replies []*des.Mailbox
+	var pending []pendingAck
 	for pr, h := range probe.hands {
 		h := h
 		req := &request{kind: "remove", cost: removeTime, run: func(dp *des.Proc) {
@@ -91,9 +97,12 @@ func (cl *Client) Remove(p *des.Proc, probe *Probe) error {
 				errs = append(errs, err)
 			}
 		}}
-		replies = append(replies, cl.post(p, pr, req, true))
+		cl.post(p, pr, req, true)
+		pending = append(pending, pendingAck{pr: pr, req: req})
 	}
-	collect(p, replies)
+	if err := cl.collect(p, pending); err != nil {
+		errs = append(errs, err)
+	}
 	probe.hands = make(map[*proc.Process]*image.ProbeHandle)
 	if len(errs) > 0 {
 		return errs[0]
@@ -104,9 +113,11 @@ func (cl *Client) Remove(p *des.Proc, probe *Probe) error {
 // Suspend halts the target processes. With blocking set, it waits until
 // every thread of every target is actually stopped (the guarantee dynprof
 // relies on before patching a running OpenMP image: "we use a blocking
-// version of the DPCL suspend function").
-func (cl *Client) Suspend(p *des.Proc, procs []*proc.Process, blocking bool) {
-	var replies []*des.Mailbox
+// version of the DPCL suspend function") and returns an error if a
+// faulted control path swallowed the acknowledgements. Non-blocking
+// suspends are fire-and-forget and never error.
+func (cl *Client) Suspend(p *des.Proc, procs []*proc.Process, blocking bool) error {
+	var pending []pendingAck
 	for _, pr := range procs {
 		pr := pr
 		req := &request{kind: "suspend", cost: suspendTime, run: func(dp *des.Proc) {
@@ -115,11 +126,12 @@ func (cl *Client) Suspend(p *des.Proc, procs []*proc.Process, blocking bool) {
 				pr.WaitStopped(dp)
 			}
 		}}
-		replies = append(replies, cl.post(p, pr, req, blocking))
+		cl.post(p, pr, req, blocking)
+		if blocking {
+			pending = append(pending, pendingAck{pr: pr, req: req})
+		}
 	}
-	if blocking {
-		collect(p, replies)
-	}
+	return cl.collect(p, pending)
 }
 
 // Resume releases suspended target processes (unacknowledged, like the

@@ -5,6 +5,7 @@ import (
 
 	"dynprof/internal/apps"
 	"dynprof/internal/des"
+	"dynprof/internal/fault"
 	"dynprof/internal/guide"
 	"dynprof/internal/machine"
 )
@@ -354,4 +355,62 @@ func planHybrid(opts Options) *figurePlan {
 // Hybrid reproduces the Section 5.1 hybrid comparison (see planHybrid).
 func Hybrid(opts Options) (*Figure, error) {
 	return NewRunner(opts).runPlan(planHybrid(opts))
+}
+
+// faultRates is the sweep of the fault-injection figure, in percent.
+var faultRates = []int{0, 10, 20, 40}
+
+// faultPlanAt scales the canonical degradation scenario to one intensity:
+// one slowed node, one stalled node and stretched control latency, all
+// proportional to pct. Zero intensity is the fault-free machine, so that
+// cell shares its key (and memo entry) with the ordinary figures.
+func faultPlanAt(pct int) *fault.Plan {
+	if pct <= 0 {
+		return nil
+	}
+	f := float64(pct) / 100
+	return &fault.Plan{
+		Slowdowns: []fault.Slowdown{{Node: 0, Factor: 1 + f}},
+		Stalls: []fault.Stall{
+			{Node: 1, At: 5 * des.Millisecond, Duration: des.Time(f * float64(40*des.Millisecond))},
+		},
+		CtrlDelayFactor: 1 + 4*f,
+	}
+}
+
+// planFaults enumerates the fault-injection sweep: the execution time of
+// an instrumented application run and the VT_confsync cost as the fault
+// intensity grows. The x coordinate is the intensity in percent.
+func planFaults(opts Options) *figurePlan {
+	plan := &figurePlan{fig: &Figure{
+		ID:     "faults",
+		Title:  "Instrumented run and VT_confsync under injected faults",
+		XLabel: "Fault intensity (%)",
+		YLabel: "Time (s)",
+	}}
+	plan.fig.Series = append(plan.fig.Series,
+		Series{Label: "smg98-full-8cpu"}, Series{Label: "confsync-32"})
+	for _, pct := range faultRates {
+		mach := opts.machine().WithFaultPlan(faultPlanAt(pct))
+		plan.cells = append(plan.cells, planCell{
+			series: 0,
+			cpus:   pct,
+			desc:   fmt.Sprintf("faults app/%d%%", pct),
+			spec:   RunSpec{App: "smg98", Policy: Full, CPUs: 8, Machine: mach, Seed: opts.seed()},
+			value:  func(v any) float64 { return v.(Result).Elapsed.Seconds() },
+		})
+		plan.cells = append(plan.cells, planCell{
+			series: 1,
+			cpus:   pct,
+			desc:   fmt.Sprintf("faults confsync/%d%%", pct),
+			spec:   ConfSyncSpec{Machine: mach, CPUs: 32, Changes: 8, Seed: opts.seed()},
+			value:  confSyncValue,
+		})
+	}
+	return plan
+}
+
+// Faults reproduces the fault-injection sweep (see planFaults).
+func Faults(opts Options) (*Figure, error) {
+	return NewRunner(opts).runPlan(planFaults(opts))
 }

@@ -10,6 +10,7 @@ import (
 
 	"dynprof/internal/core"
 	"dynprof/internal/des"
+	"dynprof/internal/fault"
 	"dynprof/internal/guide"
 	"dynprof/internal/machine"
 	"dynprof/internal/vt"
@@ -123,6 +124,9 @@ type Result struct {
 	CreateAndInstrument des.Time
 	// TraceBytes is the volume of trace data the run produced.
 	TraceBytes int
+	// Faults is the run's structured fault-event stream, in time order;
+	// empty when the machine carries no fault plan.
+	Faults []fault.Event
 }
 
 // RunPolicy executes one (application, policy, CPU count) cell and returns
@@ -168,5 +172,6 @@ func runDynamic(mach *machine.Config, app *guide.App, cpus int, args map[string]
 	for i := range ss.Job().Processes() {
 		res.TraceBytes += ss.Job().VT(i).TraceBytes()
 	}
+	res.Faults = ss.Faults()
 	return res, nil
 }

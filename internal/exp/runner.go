@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dynprof/internal/des"
+	"dynprof/internal/fault"
 )
 
 // planCell is one schedulable cell of a figure: the spec to execute and
@@ -29,7 +30,7 @@ type figurePlan struct {
 // FigureIDs lists the figure identifiers the Runner can enumerate, in
 // presentation order.
 func FigureIDs() []string {
-	return []string{"fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig8c", "fig9", "hybrid"}
+	return []string{"fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig8c", "fig9", "hybrid", "faults"}
 }
 
 // planFor builds the cell work-list of one figure.
@@ -53,6 +54,8 @@ func planFor(id string, opts Options) (*figurePlan, error) {
 		return planFig9(opts)
 	case "hybrid":
 		return planHybrid(opts), nil
+	case "faults":
+		return planFaults(opts), nil
 	default:
 		return nil, fmt.Errorf("exp: unknown figure %q (have %v)", id, FigureIDs())
 	}
@@ -105,6 +108,9 @@ type CellEvent struct {
 	WallMS float64 `json:"wall_ms"`
 	// SimS is the simulated seconds the cell's run covered.
 	SimS float64 `json:"sim_s"`
+	// Faults is the cell run's structured fault-event stream; omitted
+	// for cells on fault-free machines.
+	Faults []fault.Event `json:"faults,omitempty"`
 }
 
 // cacheEntry is one memoized cell execution.
@@ -284,6 +290,7 @@ func (r *Runner) runPlans(plans []*figurePlan) ([]*Figure, error) {
 					Value:    v,
 					CacheHit: !fresh,
 					SimS:     e.virt.Seconds(),
+					Faults:   faultsOf(e.val),
 				}
 				if fresh {
 					ev.WallMS = float64(e.wall) / float64(time.Millisecond)
@@ -315,6 +322,19 @@ func virtualOf(val any) des.Time {
 		return v.Elapsed
 	}
 	return 0
+}
+
+// faultsOf extracts a cell result's fault-event stream.
+func faultsOf(val any) []fault.Event {
+	switch v := val.(type) {
+	case Result:
+		return v.Faults
+	case ConfSyncResult:
+		return v.Faults
+	case HybridResult:
+		return v.Faults
+	}
+	return nil
 }
 
 // Run executes spec through the Runner's memo cache: a spec whose key has

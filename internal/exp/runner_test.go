@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -133,7 +134,7 @@ func TestRunnerMemoAcrossCalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if first != again {
+	if !reflect.DeepEqual(first, again) {
 		t.Errorf("memoized result differs: %+v vs %+v", first, again)
 	}
 	m := r.Metrics()

@@ -8,10 +8,22 @@ import (
 	"dynprof/internal/apps"
 	"dynprof/internal/core"
 	"dynprof/internal/des"
+	"dynprof/internal/fault"
 	"dynprof/internal/guide"
 	"dynprof/internal/machine"
 	"dynprof/internal/vt"
 )
+
+// faultKey renders a machine's fault plan for spec keys: the empty string
+// for fault-free machines, so every pre-fault key (and its memo cache
+// entry) is byte-identical to before the fault model existed.
+func faultKey(m *machine.Config) string {
+	plan := m.FaultPlan()
+	if plan.IsZero() {
+		return ""
+	}
+	return "|" + plan.Key()
+}
 
 // DefaultSeed is the simulation seed used when none is requested. Every
 // figure of the paper is regenerated with this seed unless overridden.
@@ -85,8 +97,8 @@ func (s RunSpec) Key() string {
 	if s.AppDef != nil {
 		name = s.AppDef.Name
 	}
-	return fmt.Sprintf("run|%s|%s|cpus=%d|%s|%s|seed=%d",
-		name, s.Policy, s.CPUs, s.machine().Name, argsKey(s.Args), s.Seed)
+	return fmt.Sprintf("run|%s|%s|cpus=%d|%s|%s|seed=%d%s",
+		name, s.Policy, s.CPUs, s.machine().Name, argsKey(s.Args), s.Seed, faultKey(s.machine()))
 }
 
 func (s RunSpec) runCell() (any, error) { return Run(s) }
@@ -141,6 +153,7 @@ func Run(spec RunSpec) (Result, error) {
 	for i := range j.Processes() {
 		res.TraceBytes += j.VT(i).TraceBytes()
 	}
+	res.Faults = j.Faults()
 	return res, nil
 }
 
@@ -184,8 +197,8 @@ func (s ConfSyncSpec) norm() ConfSyncSpec {
 // an explicit DefaultConfSyncReps share one execution).
 func (s ConfSyncSpec) Key() string {
 	n := s.norm()
-	return fmt.Sprintf("confsync|cpus=%d|reps=%d|nfuncs=%d|changes=%d|stats=%t|%s|seed=%d",
-		n.CPUs, n.Reps, n.NFuncs, n.Changes, n.WriteStats, n.Machine.Name, n.Seed)
+	return fmt.Sprintf("confsync|cpus=%d|reps=%d|nfuncs=%d|changes=%d|stats=%t|%s|seed=%d%s",
+		n.CPUs, n.Reps, n.NFuncs, n.Changes, n.WriteStats, n.Machine.Name, n.Seed, faultKey(n.Machine))
 }
 
 func (s ConfSyncSpec) runCell() (any, error) { return RunConfSync(s) }
@@ -195,6 +208,8 @@ type ConfSyncResult struct {
 	CPUs int
 	// Mean is the per-call cost averaged over the spec's repetitions.
 	Mean des.Time
+	// Faults is the probe run's fault-event stream (empty without a plan).
+	Faults []fault.Event
 }
 
 // RunConfSync executes one VT_confsync probe cell.
@@ -252,6 +267,7 @@ func RunConfSync(spec ConfSyncSpec) (ConfSyncResult, error) {
 		return res, fmt.Errorf("exp: confsync probe did not finish")
 	}
 	res.Mean = total / des.Time(spec.Reps)
+	res.Faults = j.Faults()
 	return res, nil
 }
 
@@ -290,8 +306,8 @@ func (s HybridSpec) norm() HybridSpec {
 // Key canonicalises the spec (defaults resolved first).
 func (s HybridSpec) Key() string {
 	n := s.norm()
-	return fmt.Sprintf("hybrid|points=%t|cpus=%d|%s|%s|seed=%d",
-		n.WithPoints, n.CPUs, n.Machine.Name, argsKey(n.Args), n.Seed)
+	return fmt.Sprintf("hybrid|points=%t|cpus=%d|%s|%s|seed=%d%s",
+		n.WithPoints, n.CPUs, n.Machine.Name, argsKey(n.Args), n.Seed, faultKey(n.Machine))
 }
 
 func (s HybridSpec) runCell() (any, error) { return RunHybrid(s) }
@@ -303,6 +319,8 @@ type HybridResult struct {
 	Elapsed des.Time
 	// CreateAndInstrument is dynprof's startup cost for the run.
 	CreateAndInstrument des.Time
+	// Faults is the run's fault-event stream (empty without a plan).
+	Faults []fault.Event
 }
 
 // RunHybrid executes one hybrid cell: dynprof spawns Sppm, optionally
@@ -344,5 +362,6 @@ func RunHybrid(spec HybridSpec) (HybridResult, error) {
 	}
 	res.Elapsed = ss.Job().MainElapsed()
 	res.CreateAndInstrument = ss.CreateAndInstrumentTime()
+	res.Faults = ss.Faults()
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynprof/internal/des"
+	"dynprof/internal/fault"
 	"dynprof/internal/machine"
 	"dynprof/internal/mpi"
 	"dynprof/internal/omp"
@@ -39,6 +40,8 @@ type Job struct {
 	vts   []*vt.Ctx
 	world *mpi.World // nil for OpenMP binaries
 
+	inj *fault.Injector // nil unless the machine carries a fault plan
+
 	startGate  *des.Gate
 	released   bool
 	countOnly  bool
@@ -71,6 +74,12 @@ func Launch(s *des.Scheduler, mach *machine.Config, bin *Binary, opts LaunchOpts
 		released:  !opts.Hold,
 		countOnly: opts.CountOnly,
 	}
+	if plan := mach.FaultPlan(); !plan.IsZero() {
+		if err := plan.Validate(); err != nil {
+			return nil, fmt.Errorf("guide: %w", err)
+		}
+		j.inj = fault.NewInjector(plan, s.RNG().Fork())
+	}
 	if bin.app.Lang.IsMPI() {
 		if err := j.launchMPI(n, args); err != nil {
 			return nil, err
@@ -80,7 +89,67 @@ func Launch(s *des.Scheduler, mach *machine.Config, bin *Binary, opts LaunchOpts
 			return nil, err
 		}
 	}
+	j.scheduleFaults()
 	return j, nil
+}
+
+// scheduleFaults logs the machine's configured degradations and arms the
+// planned rank crashes on the DES clock.
+func (j *Job) scheduleFaults() {
+	if j.inj == nil {
+		return
+	}
+	plan := j.mach.FaultPlan()
+	for _, sl := range plan.Slowdowns {
+		j.inj.Record(0, fault.KindSlowdown, sl.Node, -1,
+			fmt.Sprintf("clock scaled %gx", sl.Factor))
+	}
+	for _, st := range plan.Stalls {
+		j.inj.Record(st.At, fault.KindStall, st.Node, -1,
+			fmt.Sprintf("node frozen for %v", st.Duration))
+	}
+	for _, cr := range plan.Crashes {
+		if cr.Rank < 0 || cr.Rank >= len(j.procs) {
+			continue
+		}
+		cr := cr
+		j.s.At(cr.At, func() {
+			pr := j.procs[cr.Rank]
+			if pr.Exited() {
+				return
+			}
+			pr.Crash()
+			if j.world != nil {
+				j.world.MarkDead(cr.Rank)
+			}
+			j.inj.Record(j.s.Now(), fault.KindCrash, pr.Node(), cr.Rank, "planned crash")
+		})
+	}
+}
+
+// attachOpts translates the binary's build options and the machine's
+// fault plan into vt.Attach options.
+func (j *Job) attachOpts(mpiJob bool) []vt.AttachOption {
+	opts := []vt.AttachOption{vt.WithCollector(j.col)}
+	if j.bin.opts.Config != nil {
+		opts = append(opts, vt.WithConfig(j.bin.opts.Config))
+	}
+	if j.countOnly {
+		opts = append(opts, vt.WithCountOnly())
+	}
+	if mpiJob && j.bin.opts.TraceMPI {
+		opts = append(opts, vt.WithTraceMPI())
+	}
+	if !mpiJob && j.bin.opts.TraceOMP {
+		opts = append(opts, vt.WithTraceOMP())
+	}
+	if j.inj != nil {
+		if plan := j.inj.Plan(); plan.TraceBufEvents > 0 {
+			opts = append(opts, vt.WithBuffer(plan.TraceBufEvents, plan.Overflow))
+		}
+		opts = append(opts, vt.WithFaults(j.inj))
+	}
+	return opts
 }
 
 func (j *Job) launchMPI(n int, args map[string]int) error {
@@ -90,22 +159,18 @@ func (j *Job) launchMPI(n int, args map[string]int) error {
 	}
 	j.place = place
 	j.world = mpi.NewWorld(j.s, place)
+	j.world.SetFaults(j.inj)
+	att := vt.Attach(j.world, j.attachOpts(true)...)
 	for r := 0; r < n; r++ {
 		r := r
-		v := vt.NewCtx(vt.Options{
-			Rank:      r,
-			Config:    j.bin.opts.Config,
-			Collector: j.col,
-			TraceMPI:  j.bin.opts.TraceMPI,
-			CountOnly: j.countOnly,
-		})
+		v := att.Ctx(r)
 		j.vts = append(j.vts, v)
 		img := j.bin.loadImage(v)
 		pr := proc.NewProcess(j.s, j.mach, fmt.Sprintf("%s.%d", j.bin.app.Name, r), r, place.NodeOf(r), img)
 		j.procs = append(j.procs, pr)
 		pr.Start(func(th *proc.Thread) {
 			th.Block(func(p *des.Proc) { p.Await(j.startGate) })
-			c := j.world.Register(r, th, &vt.MPIAdapter{C: v})
+			c := att.Bind(r, th)
 			j.bin.app.Main(&Ctx{T: th, MPI: c, VT: v, Args: args})
 		})
 	}
@@ -118,13 +183,8 @@ func (j *Job) launchOMP(threads int, args map[string]int) error {
 		return err
 	}
 	j.place = place
-	v := vt.NewCtx(vt.Options{
-		Rank:      0,
-		Config:    j.bin.opts.Config,
-		Collector: j.col,
-		TraceOMP:  j.bin.opts.TraceOMP,
-		CountOnly: j.countOnly,
-	})
+	att := vt.AttachLocal(0, j.attachOpts(false)...)
+	v := att.Ctx(0)
 	j.vts = append(j.vts, v)
 	img := j.bin.loadImage(v)
 	pr := proc.NewProcess(j.s, j.mach, j.bin.app.Name, 0, 0, img)
@@ -137,7 +197,7 @@ func (j *Job) launchOMP(threads int, args map[string]int) error {
 		master.Call("VT_init", func() { v.Initialize(master) })
 		start := master.Now()
 		suspAtStart := master.SuspendedTime()
-		rt := omp.New(pr, master, threads, &vt.OMPAdapter{C: v})
+		rt := omp.New(pr, master, threads, att.OMPHooks())
 		j.bin.app.Main(&Ctx{T: master, OMP: rt, VT: v, Args: args})
 		rt.Shutdown()
 		master.Sync()
@@ -194,6 +254,14 @@ func (j *Job) VT(i int) *vt.Ctx { return j.vts[i] }
 // World returns the MPI world, or nil for an OpenMP binary.
 func (j *Job) World() *mpi.World { return j.world }
 
+// Faults returns the structured fault events the run emitted, in time
+// order; empty for a run on a fault-free machine.
+func (j *Job) Faults() []fault.Event { return j.inj.Events() }
+
+// FaultInjector exposes the job's injector so instrumenters (dpcl) and
+// collectors can log onto the same stream; nil for fault-free machines.
+func (j *Job) FaultInjector() *fault.Injector { return j.inj }
+
 // MainElapsed reports the job's main-computation time: the maximum over
 // MPI ranks of the MPI_Init→MPI_Finalize interval, or the OpenMP main's
 // elapsed time — in both cases excluding instrumenter-imposed suspensions.
@@ -207,7 +275,13 @@ func (j *Job) MainElapsed() des.Time {
 	}
 	var max des.Time
 	for r := 0; r < j.world.Size(); r++ {
-		if e := j.world.Rank(r).MainElapsed(); e > max {
+		// Crashed ranks never reach MPI_Finalize (and held-then-crashed
+		// ranks may never have registered); their interval is undefined.
+		c := j.world.Rank(r)
+		if c == nil || j.world.Dead(r) {
+			continue
+		}
+		if e := c.MainElapsed(); e > max {
 			max = e
 		}
 	}

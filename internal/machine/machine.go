@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"dynprof/internal/des"
+	"dynprof/internal/fault"
 )
 
 // Network holds the LogGP-style parameters of the cluster interconnect and
@@ -50,62 +51,70 @@ type Config struct {
 	// inserted code snippets become active in all processes at the same
 	// time".
 	DaemonJitter float64
+	// Faults optionally degrades the machine with a deterministic fault
+	// plan (see internal/fault). Nil means the fault-free ideal cluster;
+	// runs on a nil-plan machine follow exactly the pre-fault code paths.
+	Faults *fault.Plan
+}
+
+// FaultPlan returns the machine's fault plan; nil means fault-free.
+func (c *Config) FaultPlan() *fault.Plan { return c.Faults }
+
+// NodeClockScale reports how much slower a node's clock runs under the
+// fault plan (1.0 on a healthy node or a fault-free machine).
+func (c *Config) NodeClockScale(node int) float64 {
+	return c.Faults.SlowdownOn(node)
+}
+
+// WithFaultPlan returns a shallow clone of the machine carrying plan.
+// The original is untouched, so experiment sweeps can derive faulted
+// variants of one preset without racing concurrent cells.
+func (c *Config) WithFaultPlan(plan *fault.Plan) *Config {
+	clone := *c
+	if plan.IsZero() {
+		clone.Faults = nil
+	} else {
+		clone.Faults = plan
+	}
+	return &clone
 }
 
 // IBMPower3Cluster returns the paper's primary platform: 144 SMP nodes,
 // each with eight 375 MHz Power3 processors and 4 GB of shared memory,
 // connected by IBM Colony switches, running AIX 5.1 with POE.
-func IBMPower3Cluster() *Config {
-	return &Config{
-		Name:        "IBM Power3 SMP cluster (Colony)",
-		Nodes:       144,
-		CPUsPerNode: 8,
-		ClockHz:     375e6,
-		Net: Network{
-			Latency:      21 * des.Microsecond,
-			SendOverhead: 3 * des.Microsecond,
-			RecvOverhead: 3 * des.Microsecond,
-			Bandwidth:    350e6,
-			ShmLatency:   2 * des.Microsecond,
-			ShmBandwidth: 1200e6,
-		},
-		DaemonLatency: 220 * des.Microsecond,
-		DaemonJitter:  0.35,
-	}
-}
+//
+// Deprecated: use New("ibm-power3", opts...) — the preset registry plus
+// functional options replaces the fixed constructors.
+func IBMPower3Cluster() *Config { return ibmPower3() }
 
 // IA32LinuxCluster returns the secondary platform of Section 5: a 16-node
 // Intel Pentium III IA32 Linux cluster (Figure 8c).
-func IA32LinuxCluster() *Config {
-	return &Config{
-		Name:        "Intel IA32 Linux cluster (Pentium III)",
-		Nodes:       16,
-		CPUsPerNode: 1,
-		ClockHz:     800e6,
-		Net: Network{
-			Latency:      55 * des.Microsecond,
-			SendOverhead: 6 * des.Microsecond,
-			RecvOverhead: 6 * des.Microsecond,
-			Bandwidth:    90e6,
-			ShmLatency:   2 * des.Microsecond,
-			ShmBandwidth: 800e6,
-		},
-		DaemonLatency: 300 * des.Microsecond,
-		DaemonJitter:  0.35,
-	}
-}
+//
+// Deprecated: use New("ia32-linux", opts...) — the preset registry plus
+// functional options replaces the fixed constructors.
+func IA32LinuxCluster() *Config { return ia32Linux() }
 
 // TotalCPUs reports the machine's processor count.
 func (c *Config) TotalCPUs() int { return c.Nodes * c.CPUsPerNode }
 
 // CyclesToTime converts a processor cycle count into virtual time at this
-// machine's clock rate.
+// machine's clock rate. Negative cycle counts would move virtual time
+// backwards — a corruption that slowdown-fault arithmetic must never
+// produce — so they panic with context instead of propagating silently.
 func (c *Config) CyclesToTime(cycles int64) des.Time {
+	if cycles < 0 {
+		panic(fmt.Sprintf("machine: %s: CyclesToTime(%d): negative cycles would run virtual time backwards", c.Name, cycles))
+	}
 	return des.Time(float64(cycles) / c.ClockHz * float64(des.Second))
 }
 
 // TimeToCycles converts virtual time into processor cycles (rounded down).
+// Negative durations panic with context for the same reason as
+// CyclesToTime.
 func (c *Config) TimeToCycles(t des.Time) int64 {
+	if t < 0 {
+		panic(fmt.Sprintf("machine: %s: TimeToCycles(%v): negative duration would run virtual time backwards", c.Name, t))
+	}
 	return int64(t.Seconds() * c.ClockHz)
 }
 
@@ -115,7 +124,7 @@ func (c *Config) TimeToCycles(t des.Time) int64 {
 // RecvOverhead.
 func (c *Config) TransferTime(srcNode, dstNode, bytes int) des.Time {
 	if bytes < 0 {
-		panic("machine: negative message size")
+		panic(fmt.Sprintf("machine: %s: TransferTime(%d -> %d, %d bytes): negative message size", c.Name, srcNode, dstNode, bytes))
 	}
 	if srcNode == dstNode {
 		return c.Net.ShmLatency + des.Time(float64(bytes)/c.Net.ShmBandwidth*float64(des.Second))
@@ -179,8 +188,8 @@ func (p *Placement) NodeOf(r int) int { return p.slots[r].Node }
 
 // Nodes returns the distinct nodes used by the placement, in order.
 func (p *Placement) Nodes() []int {
-	seen := make(map[int]bool)
-	var nodes []int
+	seen := make(map[int]bool, len(p.slots))
+	nodes := make([]int, 0, len(p.slots))
 	for _, s := range p.slots {
 		if !seen[s.Node] {
 			seen[s.Node] = true

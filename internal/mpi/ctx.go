@@ -36,6 +36,26 @@ func (o Op) combine(a, b float64) float64 {
 	}
 }
 
+// accumulateF64 folds the present ranks' scalar contributions in rank
+// order. With every rank present this is exactly the pre-fault
+// contrib[0]-seeded loop; under degradation dead ranks simply contribute
+// nothing.
+func accumulateF64(op *collectiveOp, o Op) float64 {
+	acc, seeded := 0.0, false
+	for i := 0; i < op.n; i++ {
+		if !op.present[i] {
+			continue
+		}
+		v := op.contrib[i].(float64)
+		if !seeded {
+			acc, seeded = v, true
+			continue
+		}
+		acc = o.combine(acc, v)
+	}
+	return acc
+}
+
 // Ctx is one rank's handle on the MPI world. All methods must be called
 // from the rank's own thread.
 type Ctx struct {
@@ -47,6 +67,7 @@ type Ctx struct {
 	collCount   int
 	initialized bool
 	finalized   bool
+	dead        bool
 
 	initDone      des.Time
 	suspAtInit    des.Time
@@ -68,6 +89,10 @@ func (c *Ctx) World() *World { return c.w }
 
 // Initialized reports whether Init has completed on this rank.
 func (c *Ctx) Initialized() bool { return c.initialized }
+
+// Dead reports whether this rank was crashed by a fault. A dead rank has
+// no meaningful MainElapsed; job-level aggregation skips it.
+func (c *Ctx) Dead() bool { return c.dead }
 
 // Wtime reports the rank's precise virtual clock in seconds, mirroring
 // MPI_Wtime.
@@ -222,6 +247,8 @@ func (c *Ctx) irecv(src, tag int) *Request {
 	if m := c.w.postRecv(c.rank, rw); m != nil {
 		rw.got = m
 		rw.gate.Set(true)
+	} else {
+		c.w.maybeArmRecv(c.rank, rw)
 	}
 	return &Request{c: c, kind: "irecv", rw: rw}
 }
@@ -291,7 +318,15 @@ func (c *Ctx) Bcast(root, bytes int, val any) any {
 	var out any
 	c.wrap("MPI_Bcast", func() {
 		out = c.enterCollective("bcast", root, bytes, val, func(op *collectiveOp, w *World) {
+			// A dead root has nothing to broadcast: survivors get a nil
+			// payload, timed from the last present arrival.
 			start := op.arrival[op.root]
+			var payload any
+			if op.present[op.root] {
+				payload = op.contrib[op.root]
+			} else {
+				start = op.maxArrival()
+			}
 			hop := w.hopCost(op.bytes)
 			for i := range op.depart {
 				d := start + des.Time(treeDepth((i-op.root+op.n)%op.n, op.n))*hop
@@ -299,7 +334,7 @@ func (c *Ctx) Bcast(root, bytes int, val any) any {
 					d = op.arrival[i]
 				}
 				op.depart[i] = d
-				op.results[i] = op.contrib[op.root]
+				op.results[i] = payload
 			}
 		})
 	})
@@ -313,10 +348,7 @@ func (c *Ctx) ReduceF64(o Op, root int, v float64) (result float64, ok bool) {
 	var out any
 	c.wrap("MPI_Reduce", func() {
 		out = c.enterCollective("reduce", root, 8, v, func(op *collectiveOp, w *World) {
-			acc := op.contrib[0].(float64)
-			for i := 1; i < op.n; i++ {
-				acc = o.combine(acc, op.contrib[i].(float64))
-			}
+			acc := accumulateF64(op, o)
 			hop := w.hopCost(op.bytes)
 			rootDep := op.maxArrival() + des.Time(logCeil(op.n))*hop
 			for i := range op.depart {
@@ -340,10 +372,7 @@ func (c *Ctx) AllreduceF64(o Op, v float64) float64 {
 	var out any
 	c.wrap("MPI_Allreduce", func() {
 		out = c.enterCollective("allreduce", 0, 8, v, func(op *collectiveOp, w *World) {
-			acc := op.contrib[0].(float64)
-			for i := 1; i < op.n; i++ {
-				acc = o.combine(acc, op.contrib[i].(float64))
-			}
+			acc := accumulateF64(op, o)
 			floor := op.maxArrival() + 2*des.Time(logCeil(op.n))*w.hopCost(op.bytes)
 			for i := range op.depart {
 				op.depart[i] = floor
@@ -360,10 +389,16 @@ func (c *Ctx) AllreduceF64s(o Op, v []float64) []float64 {
 	var out any
 	c.wrap("MPI_Allreduce", func() {
 		out = c.enterCollective("allreduce", 0, 8*len(v), CopyF64s(v), func(op *collectiveOp, w *World) {
-			first := op.contrib[0].([]float64)
-			acc := CopyF64s(first)
-			for i := 1; i < op.n; i++ {
+			var acc []float64
+			for i := 0; i < op.n; i++ {
+				if !op.present[i] {
+					continue
+				}
 				vi := op.contrib[i].([]float64)
+				if acc == nil {
+					acc = CopyF64s(vi)
+					continue
+				}
 				if len(vi) != len(acc) {
 					panic(fmt.Sprintf("mpi: allreduce length mismatch: %d vs %d", len(vi), len(acc)))
 				}

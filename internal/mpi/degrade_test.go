@@ -1,0 +1,222 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dynprof/internal/des"
+	"dynprof/internal/fault"
+	"dynprof/internal/image"
+	"dynprof/internal/machine"
+	"dynprof/internal/proc"
+)
+
+// crashWorld runs body on n ranks with the given fault plan; procs[r]
+// crashes (and is marked dead in the world) at its planned time.
+func crashWorld(t *testing.T, n int, plan *fault.Plan, body func(c *Ctx)) (*World, *fault.Injector, error) {
+	t.Helper()
+	s := des.NewScheduler(7)
+	cfg := machine.IBMPower3Cluster().WithFaultPlan(plan)
+	place, err := machine.Pack(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(s, place)
+	inj := fault.NewInjector(plan, s.RNG().Fork())
+	w.SetFaults(inj)
+	procs := make([]*proc.Process, n)
+	for r := 0; r < n; r++ {
+		img := image.NewBuilder(fmt.Sprintf("test.%d", r)).Build()
+		pr := proc.NewProcess(s, cfg, fmt.Sprintf("rank%d", r), r, place.NodeOf(r), img)
+		procs[r] = pr
+		c := w.Register(r, nil, nil)
+		pr.Start(func(th *proc.Thread) {
+			c.t = th
+			c.Init()
+			body(c)
+			c.Finalize()
+		})
+	}
+	for _, cr := range plan.Crashes {
+		cr := cr
+		s.At(cr.At, func() {
+			procs[cr.Rank].Crash()
+			w.MarkDead(cr.Rank)
+			inj.Record(s.Now(), fault.KindCrash, place.NodeOf(cr.Rank), cr.Rank, "planned crash")
+		})
+	}
+	return w, inj, s.Run()
+}
+
+// TestBarrierDegradesAroundDeadRank: survivors of a crash pass the
+// barrier via the detection timeout instead of deadlocking the DES.
+func TestBarrierDegradesAroundDeadRank(t *testing.T) {
+	plan := &fault.Plan{
+		Crashes:       []fault.Crash{{Rank: 2, At: 20 * des.Millisecond}},
+		DetectTimeout: 50 * des.Millisecond,
+	}
+	var mcyc = int64(375_000) // 1ms on the Power3 clock
+	w, inj, err := crashWorld(t, 4, plan, func(c *Ctx) {
+		// Rank 2 computes far past its crash time and never reaches the
+		// barrier; everyone else arrives around 31ms.
+		if c.Rank() == 2 {
+			c.t.Work(1000 * mcyc)
+		} else {
+			c.t.Work(10 * mcyc)
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("degraded run must terminate cleanly, got %v", err)
+	}
+	for r := 0; r < 4; r++ {
+		c := w.Rank(r)
+		if r == 2 {
+			if !c.Dead() || c.finalized {
+				t.Errorf("rank 2 dead=%v finalized=%v, want dead and unfinalized", c.Dead(), c.finalized)
+			}
+			continue
+		}
+		if !c.finalized {
+			t.Errorf("survivor %d did not finalize", r)
+		}
+		if c.MainElapsed() < plan.DetectTimeout {
+			t.Errorf("survivor %d elapsed %v, want >= detection timeout %v", r, c.MainElapsed(), plan.DetectTimeout)
+		}
+	}
+	var sawCrash, sawDegrade bool
+	for _, ev := range inj.Events() {
+		switch ev.Kind {
+		case fault.KindCrash:
+			sawCrash = true
+		case fault.KindDegrade:
+			sawDegrade = true
+			if !strings.Contains(ev.Detail, "3/4") {
+				t.Errorf("degrade event detail %q, want 3/4 ranks", ev.Detail)
+			}
+		}
+	}
+	if !sawCrash || !sawDegrade {
+		t.Errorf("event log missing crash/degrade: %+v", inj.Events())
+	}
+}
+
+// TestCollectivesDegradeValues: reductions fold only surviving
+// contributions; a dead bcast root yields nil; gather leaves nil slots.
+func TestCollectivesDegradeValues(t *testing.T) {
+	plan := &fault.Plan{
+		Crashes:       []fault.Crash{{Rank: 0, At: 15 * des.Millisecond}},
+		DetectTimeout: 30 * des.Millisecond,
+	}
+	var got [4]float64
+	var bcast [4]any
+	var gathered []any
+	_, _, err := crashWorld(t, 4, plan, func(c *Ctx) {
+		if c.Rank() == 0 {
+			c.t.Work(375_000_000) // never arrives
+		}
+		got[c.Rank()] = c.AllreduceF64(Sum, float64(c.Rank()+1))
+		bcast[c.Rank()] = c.Bcast(0, 8, "from-root")
+		if vals, ok := c.Gather(1, 8, c.Rank()*10); ok {
+			gathered = vals
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		// Ranks 2,3,4 contribute 2+3+4 = 9; dead rank 0's 1 is missing.
+		if got[r] != 9 {
+			t.Errorf("rank %d allreduce = %v, want 9", r, got[r])
+		}
+		if bcast[r] != nil {
+			t.Errorf("rank %d bcast from dead root = %v, want nil", r, bcast[r])
+		}
+	}
+	if len(gathered) != 4 || gathered[0] != nil || gathered[2] != 20 {
+		t.Errorf("gather at rank 1 = %+v, want nil slot for dead rank", gathered)
+	}
+}
+
+// TestCrashAfterArrivalStillCompletes: a rank that reaches the collective
+// and then dies blocked inside it does not stop the op from completing
+// normally (its contribution was already made).
+func TestCrashAfterArrivalStillCompletes(t *testing.T) {
+	plan := &fault.Plan{
+		// Rank 1 arrives almost immediately, then dies while blocked.
+		Crashes:       []fault.Crash{{Rank: 1, At: 10 * des.Millisecond}},
+		DetectTimeout: des.Second,
+	}
+	var sum float64
+	w, _, err := crashWorld(t, 3, plan, func(c *Ctx) {
+		if c.Rank() != 1 {
+			c.t.Work(20 * 375_000) // arrive at ~26ms, after rank 1 died waiting
+		}
+		sum = c.AllreduceF64(Sum, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 3 {
+		t.Errorf("allreduce sum = %v, want 3 (all contributions arrived)", sum)
+	}
+	if !w.Dead(1) {
+		t.Error("rank 1 not marked dead")
+	}
+}
+
+// TestRecvFromDeadRankReleases: blocking and non-blocking receives posted
+// against a crashed rank complete with a zero-byte message after the
+// detection timeout instead of hanging the DES — before the crash (armed
+// by MarkDead's sweep) and after it (armed at post time).
+func TestRecvFromDeadRankReleases(t *testing.T) {
+	plan := &fault.Plan{
+		Crashes:       []fault.Crash{{Rank: 1, At: 10 * des.Millisecond}},
+		DetectTimeout: 25 * des.Millisecond,
+	}
+	var early, late, exch Message
+	_, inj, err := crashWorld(t, 3, plan, func(c *Ctx) {
+		switch c.Rank() {
+		case 0:
+			// Posted before the crash: swept by MarkDead.
+			early = c.Recv(1, 7)
+			// Posted after the crash: armed by postRecv.
+			late = c.Wait(c.Irecv(1, 8))
+		case 2:
+			c.t.Work(20 * 375_000) // pass the crash time
+			exch = c.Sendrecv(1, 9, 64, []float64{1, 2}, 1, 9)
+		}
+	})
+	if err != nil {
+		t.Fatalf("run with dead-rank receives must terminate, got %v", err)
+	}
+	for name, m := range map[string]Message{"early": early, "late": late, "sendrecv": exch} {
+		if m.Src != 1 || m.Bytes != 0 || m.Payload != nil {
+			t.Errorf("%s receive = %+v, want zero-byte release from rank 1", name, m)
+		}
+	}
+	released := 0
+	for _, ev := range inj.Events() {
+		if ev.Kind == fault.KindDegrade && strings.Contains(ev.Detail, "recv from dead rank 1") {
+			released++
+		}
+	}
+	if released != 3 {
+		t.Errorf("saw %d recv-release events, want 3: %+v", released, inj.Events())
+	}
+}
+
+// TestZeroPlanWorldUnchanged: without faults the world has no dead ranks
+// and uses the default detection timeout accessor safely.
+func TestZeroPlanWorldUnchanged(t *testing.T) {
+	w := runWorld(t, 3, nil, func(c *Ctx) { c.Barrier() })
+	for r := 0; r < 3; r++ {
+		if w.Dead(r) {
+			t.Errorf("rank %d spuriously dead", r)
+		}
+	}
+	if w.detectTimeout() != fault.DefaultDetectTimeout {
+		t.Errorf("detect timeout = %v", w.detectTimeout())
+	}
+}

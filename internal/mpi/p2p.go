@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynprof/internal/des"
+	"dynprof/internal/fault"
 )
 
 // Message is a delivered point-to-point message.
@@ -68,6 +69,42 @@ func (w *World) postRecv(dst int, rw *recvWait) *message {
 	return nil
 }
 
+// maybeArmRecv arms timeout release for a posted receive whose specific
+// source rank is dead: the message will never be sent, so after the
+// detection timeout the receive completes with an empty message instead
+// of hanging the DES. AnySource receives are left alone — any live rank
+// can still satisfy them.
+func (w *World) maybeArmRecv(dst int, rw *recvWait) {
+	if w.deadCount == 0 || rw.src == AnySource {
+		return
+	}
+	if rw.src < 0 || rw.src >= len(w.dead) || !w.dead[rw.src] {
+		return
+	}
+	w.s.After(w.detectTimeout(), func() { w.releaseRecv(dst, rw) })
+}
+
+// releaseRecv degrades a receive from a dead rank: it is removed from
+// the box and completed with a zero-byte message carrying the expected
+// src/tag. A no-op if the receive completed normally in the meantime
+// (e.g. the message was already in flight when the sender crashed).
+func (w *World) releaseRecv(dst int, rw *recvWait) {
+	if rw.got != nil {
+		return
+	}
+	box := w.boxes[dst]
+	for i, cur := range box.recvs {
+		if cur == rw {
+			box.recvs = append(box.recvs[:i], box.recvs[i+1:]...)
+			break
+		}
+	}
+	rw.got = &message{Message: Message{Src: rw.src, Tag: rw.tag}, arrived: w.s.Now()}
+	w.inj.Record(w.s.Now(), fault.KindDegrade, -1, dst,
+		fmt.Sprintf("recv from dead rank %d released", rw.src))
+	rw.gate.Set(true)
+}
+
 // Request is a non-blocking operation handle.
 type Request struct {
 	c    *Ctx
@@ -105,6 +142,7 @@ func (c *Ctx) recvCommon(src, tag int) Message {
 	if m := c.w.postRecv(c.rank, rw); m != nil {
 		rw.got = m
 	} else {
+		c.w.maybeArmRecv(c.rank, rw)
 		c.t.Block(func(p *des.Proc) { p.Await(rw.gate) })
 	}
 	c.t.WorkTime(c.w.cfg.Net.RecvOverhead)

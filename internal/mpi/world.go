@@ -9,8 +9,10 @@ package mpi
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"dynprof/internal/des"
+	"dynprof/internal/fault"
 	"dynprof/internal/machine"
 	"dynprof/internal/proc"
 )
@@ -52,6 +54,13 @@ type World struct {
 	boxes []*rankBox
 
 	colls map[int]*collectiveOp // keyed by collective sequence number
+
+	// dead marks crashed ranks; deadCount is their number. Collectives
+	// whose only missing parties are dead degrade after the detection
+	// timeout instead of hanging the DES.
+	dead      []bool
+	deadCount int
+	inj       *fault.Injector
 }
 
 // NewWorld creates an MPI world for len(place) ranks on the placement's
@@ -69,7 +78,97 @@ func NewWorld(s *des.Scheduler, place *machine.Placement) *World {
 	for i := range w.boxes {
 		w.boxes[i] = &rankBox{}
 	}
+	w.dead = make([]bool, n)
 	return w
+}
+
+// SetFaults attaches the run's fault injector so degradation decisions
+// are logged as structured events. Optional; a nil injector just mutes
+// the log.
+func (w *World) SetFaults(inj *fault.Injector) { w.inj = inj }
+
+// MarkDead declares rank r crashed: it will never arrive at another
+// collective. Pending collectives whose remaining parties are all dead
+// are armed for timeout degradation. Must be called from event context
+// (the crash event itself).
+func (w *World) MarkDead(r int) {
+	if r < 0 || r >= len(w.dead) || w.dead[r] {
+		return
+	}
+	w.dead[r] = true
+	w.deadCount++
+	if c := w.ranks[r]; c != nil {
+		c.dead = true
+	}
+	w.checkDegrade()
+	// Receives already posted against the crashed rank will never be
+	// satisfied; arm their timeout release now.
+	for dst, box := range w.boxes {
+		for _, rw := range box.recvs {
+			if rw.src == r {
+				w.maybeArmRecv(dst, rw)
+			}
+		}
+	}
+}
+
+// Dead reports whether rank r has been marked crashed.
+func (w *World) Dead(r int) bool { return r >= 0 && r < len(w.dead) && w.dead[r] }
+
+// detectTimeout is how long survivors wait for missing collective parties
+// before degrading.
+func (w *World) detectTimeout() des.Time { return w.cfg.FaultPlan().Timeout() }
+
+// checkDegrade arms timeout degradation on every pending collective that
+// can no longer complete normally. Iteration is seq-sorted so arming
+// order (and hence event order) is deterministic.
+func (w *World) checkDegrade() {
+	if w.deadCount == 0 || len(w.colls) == 0 {
+		return
+	}
+	seqs := make([]int, 0, len(w.colls))
+	for seq := range w.colls {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		w.maybeArm(w.colls[seq])
+	}
+}
+
+// maybeArm schedules degradation for op if at least one rank is waiting
+// in it and every missing rank is dead. The timeout models the survivors'
+// failure detector; if the op somehow completes or is replaced before the
+// timer fires, the fire is a no-op.
+func (w *World) maybeArm(op *collectiveOp) {
+	if op.armed || op.arrived == 0 {
+		return
+	}
+	for i := 0; i < op.n; i++ {
+		if !op.present[i] && !w.dead[i] {
+			return
+		}
+	}
+	op.armed = true
+	seq := op.seq
+	w.s.After(w.detectTimeout(), func() {
+		cur, ok := w.colls[seq]
+		if !ok || cur != op {
+			return
+		}
+		w.degrade(op)
+	})
+}
+
+// degrade completes a collective without its dead parties: the finish
+// closure prices and computes results over the present ranks only, and
+// the gate releases the survivors.
+func (w *World) degrade(op *collectiveOp) {
+	w.inj.Record(w.s.Now(), fault.KindDegrade, -1, -1,
+		fmt.Sprintf("%s seq %d released with %d/%d ranks", op.kind, op.seq, op.arrived, op.n))
+	op.finish(op, w)
+	delete(w.colls, op.seq)
+	op.gate.Set(true)
 }
 
 // Size reports the number of ranks in the world.
@@ -124,6 +223,7 @@ func (w *World) hopCost(bytes int) des.Time {
 // departure times and results, then releases everyone.
 type collectiveOp struct {
 	kind    string
+	seq     int
 	root    int
 	bytes   int
 	n       int
@@ -134,6 +234,10 @@ type collectiveOp struct {
 	results []any
 	depart  []des.Time
 	gate    *des.Gate
+	// finish is retained so a degraded op can complete without its dead
+	// parties; armed marks a scheduled degradation timeout.
+	finish func(op *collectiveOp, w *World)
+	armed  bool
 }
 
 // enterCollective joins the calling rank to the current collective
@@ -150,13 +254,14 @@ func (c *Ctx) enterCollective(kind string, root, bytes int, contrib any,
 	op, ok := w.colls[seq]
 	if !ok {
 		op = &collectiveOp{
-			kind: kind, root: root, bytes: bytes, n: n,
+			kind: kind, seq: seq, root: root, bytes: bytes, n: n,
 			arrival: make([]des.Time, n),
 			present: make([]bool, n),
 			contrib: make([]any, n),
 			results: make([]any, n),
 			depart:  make([]des.Time, n),
 			gate:    des.NewGate(fmt.Sprintf("coll%d-%s", seq, kind), false),
+			finish:  finish,
 		}
 		w.colls[seq] = op
 	}
@@ -176,6 +281,9 @@ func (c *Ctx) enterCollective(kind string, root, bytes int, contrib any,
 		delete(w.colls, seq)
 		op.gate.Set(true)
 	} else {
+		if w.deadCount > 0 {
+			w.maybeArm(op)
+		}
 		c.t.Block(func(p *des.Proc) { p.Await(op.gate) })
 	}
 	// Every rank departs at its computed time; the gate released at the

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"dynprof/internal/des"
+	"dynprof/internal/fault"
 	"dynprof/internal/image"
 	"dynprof/internal/machine"
 )
@@ -49,13 +50,20 @@ type Process struct {
 
 	bpHandler func(t *Thread, name string)
 
+	// clockScale stretches this node's cycle-to-time conversion under a
+	// slowdown fault; 1 on a healthy node. stalls are the node's freeze
+	// windows. Both are cached from the machine's fault plan at creation.
+	clockScale float64
+	stalls     []fault.Stall
+
 	exited   bool
+	crashed  bool
 	exitGate *des.Gate
 }
 
 // NewProcess creates a process on the given node with no threads yet.
 func NewProcess(s *des.Scheduler, cfg *machine.Config, name string, rank, node int, img *image.Image) *Process {
-	return &Process{
+	pr := &Process{
 		name:       name,
 		rank:       rank,
 		node:       node,
@@ -65,7 +73,13 @@ func NewProcess(s *des.Scheduler, cfg *machine.Config, name string, rank, node i
 		resumeGate: des.NewGate(name+".resume", true),
 		allStopped: des.NewGate(name+".allstopped", false),
 		exitGate:   des.NewGate(name+".exit", false),
+		clockScale: 1,
 	}
+	if plan := cfg.FaultPlan(); !plan.IsZero() {
+		pr.clockScale = plan.SlowdownOn(node)
+		pr.stalls = plan.StallsOn(node)
+	}
+	return pr
 }
 
 // Name reports the process name (e.g. "smg98.3" for rank 3).
@@ -89,8 +103,31 @@ func (pr *Process) Scheduler() *des.Scheduler { return pr.s }
 // Threads returns the process's threads in creation order.
 func (pr *Process) Threads() []*Thread { return pr.threads }
 
-// Exited reports whether the main thread has finished.
-func (pr *Process) Exited() bool { return pr.exited }
+// Exited reports whether the process is gone: its main thread finished,
+// or it was crashed by a fault.
+func (pr *Process) Exited() bool { return pr.exited || pr.crashed }
+
+// Crashed reports whether the process was killed by a fault.
+func (pr *Process) Crashed() bool { return pr.crashed }
+
+// Crash kills the process immediately, modelling a rank dying: every
+// thread's goroutine unwinds and the process never computes or
+// communicates again. WaitExit callers are released (the process is gone
+// either way). Crash must be called from event context, like des.Kill.
+func (pr *Process) Crash() {
+	if pr.crashed || pr.exited {
+		return
+	}
+	pr.crashed = true
+	for _, t := range pr.threads {
+		if !t.dead {
+			t.dead = true
+			pr.s.Kill(t.p)
+		}
+	}
+	pr.checkAllStopped()
+	pr.exitGate.Set(true)
+}
 
 // SetBreakpointHandler installs fn to be invoked when any thread executes
 // a breakpoint snippet (Thread.Breakpoint). Monitoring tools use this to
@@ -226,10 +263,46 @@ func (t *Thread) Process() *Process { return t.proc }
 // Callers must flush pending work first; use Block for the common pattern.
 func (t *Thread) DES() *des.Proc { return t.p }
 
+// cyclesToTime converts cycles at this node's effective clock rate: the
+// machine conversion stretched by any slowdown fault. The scale-1 path
+// multiplies by nothing, so fault-free arithmetic is bit-identical to the
+// pre-fault model.
+func (pr *Process) cyclesToTime(cycles int64) des.Time {
+	d := pr.cfg.CyclesToTime(cycles)
+	if pr.clockScale != 1 {
+		d = des.Time(float64(d) * pr.clockScale)
+	}
+	return d
+}
+
+// stretchThroughStalls reports how long a computation of duration d
+// starting at start really takes on this node, with progress frozen
+// inside each stall window.
+func (pr *Process) stretchThroughStalls(start, d des.Time) des.Time {
+	remaining := d
+	cur := start
+	for _, st := range pr.stalls {
+		if st.End() <= cur {
+			continue
+		}
+		gap := st.At - cur
+		if gap < 0 {
+			gap = 0
+		}
+		if remaining <= gap {
+			cur += remaining
+			return cur - start
+		}
+		remaining -= gap
+		cur = st.End()
+	}
+	return cur + remaining - start
+}
+
 // Now reports the thread's precise virtual clock: scheduler time plus any
 // cycles charged but not yet flushed.
 func (t *Thread) Now() des.Time {
-	return t.p.Now() + t.proc.cfg.CyclesToTime(t.pending)
+	return t.p.Now() + t.proc.cyclesToTime(t.pending)
 }
 
 // Charge adds cycles of instrumentation work to the thread's account.
@@ -259,8 +332,11 @@ func (t *Thread) Sync() {
 	if t.pending == 0 {
 		return
 	}
-	d := t.proc.cfg.CyclesToTime(t.pending)
+	d := t.proc.cyclesToTime(t.pending)
 	t.pending = 0
+	if len(t.proc.stalls) > 0 {
+		d = t.proc.stretchThroughStalls(t.p.Now(), d)
+	}
 	t.p.Advance(d)
 }
 

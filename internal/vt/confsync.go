@@ -101,7 +101,11 @@ func (c *Ctx) gatherStats(m *mpi.Ctx, out io.Writer) {
 	}
 	total := 0
 	for r, v := range vals {
-		stats := v.([]FuncStat)
+		// A dead rank's gather slot is nil under degraded collectives.
+		stats, ok := v.([]FuncStat)
+		if !ok {
+			continue
+		}
 		total += len(stats)*statsEntryBytes + 16
 		if out == nil {
 			continue

@@ -3,6 +3,7 @@ package vt
 import (
 	"fmt"
 
+	"dynprof/internal/fault"
 	"dynprof/internal/image"
 )
 
@@ -50,6 +51,13 @@ type Ctx struct {
 	buffers map[int32][]Event
 	bytes   int
 
+	bufCap    int
+	overflow  fault.OverflowPolicy
+	inj       *fault.Injector
+	node      int
+	overflows int
+	dropNoted map[int32]bool
+
 	gen     int64
 	pending []Change
 }
@@ -75,6 +83,18 @@ type Options struct {
 	// the writing thread for the I/O. Zero keeps everything buffered
 	// until Flush at termination (the paper's postmortem model).
 	FlushThreshold int
+	// BufferEvents models a fault-injected hard cap on each thread's
+	// trace buffer: when a buffer holds this many events and another
+	// arrives, the Overflow policy decides what gives. Zero means
+	// unbounded (no overflow faults).
+	BufferEvents int
+	// Overflow selects the policy applied when a capped buffer fills.
+	Overflow fault.OverflowPolicy
+	// Faults, when non-nil, receives a structured fault event each time
+	// a buffer overflows.
+	Faults *fault.Injector
+	// Node is the node hosting the rank, for fault-event attribution.
+	Node int
 }
 
 // NewCtx creates a library instance. The instance starts not-ready: probes
@@ -97,6 +117,10 @@ func NewCtx(opts Options) *Ctx {
 		traceOMP:  opts.TraceOMP,
 		countOnly: opts.CountOnly,
 		flushAt:   opts.FlushThreshold,
+		bufCap:    opts.BufferEvents,
+		overflow:  opts.Overflow,
+		inj:       opts.Faults,
+		node:      opts.Node,
 		ids:       make(map[string]int32),
 		buffers:   make(map[int32][]Event),
 	}
@@ -163,6 +187,9 @@ func (c *Ctx) record(ec image.ExecCtx, k Kind, id int32, a, b int64) {
 		return
 	}
 	tid := int32(ec.ThreadID())
+	if c.bufCap > 0 && len(c.buffers[tid]) >= c.bufCap && !c.overflowed(ec, tid, k, id) {
+		return
+	}
 	c.buffers[tid] = append(c.buffers[tid], Event{
 		At: ec.Now(), Rank: c.rank, TID: tid, Kind: k, ID: id, A: a, B: b,
 	})
@@ -179,6 +206,58 @@ func (c *Ctx) record(ec image.ExecCtx, k Kind, id int32, a, b int64) {
 // MidRunFlushes reports how many times a full buffer was drained before
 // program termination.
 func (c *Ctx) MidRunFlushes() int { return c.midFlush }
+
+// overflowed applies the configured overflow policy when thread tid's
+// buffer is full and the event (k, id) wants in. It reports whether the
+// arriving event should still be appended.
+func (c *Ctx) overflowed(ec image.ExecCtx, tid int32, k Kind, id int32) bool {
+	c.overflows++
+	switch c.overflow {
+	case fault.OverflowFlushEarly:
+		// Drain the full buffer to the collector, charging the thread
+		// for the I/O, then let the new event start a fresh buffer.
+		buf := c.buffers[tid]
+		ec.Charge(int64(len(buf)) * flushCyclesPerEvent)
+		c.col.Append(buf)
+		c.buffers[tid] = nil
+		c.midFlush++
+		c.faultEvent(ec, fmt.Sprintf("thread %d buffer full (%d events): flushed early", tid, len(buf)))
+		return true
+	case fault.OverflowDropOldest:
+		buf := c.buffers[tid]
+		copy(buf, buf[1:])
+		c.buffers[tid] = buf[:len(buf)-1]
+		if c.dropNoted == nil {
+			c.dropNoted = make(map[int32]bool)
+		}
+		if !c.dropNoted[tid] {
+			c.dropNoted[tid] = true
+			c.faultEvent(ec, fmt.Sprintf("thread %d buffer full (%d events): dropping oldest", tid, len(buf)+1))
+		}
+		return true
+	case fault.OverflowDisableProbe:
+		// Deactivate the offending probe so it stops producing data;
+		// events that have no probe to disable (message and region
+		// records) are discarded instead.
+		if (k == Enter || k == Exit) && id >= 0 && int(id) < len(c.active) && c.active[id] {
+			c.active[id] = false
+			c.faultEvent(ec, fmt.Sprintf("thread %d buffer full: disabled probe %s", tid, c.names[id]))
+		}
+		return false
+	}
+	return true
+}
+
+// Overflows reports how many times a fault-capped buffer overflowed.
+func (c *Ctx) Overflows() int { return c.overflows }
+
+// faultEvent logs a trace-overflow fault on the injector, if any.
+func (c *Ctx) faultEvent(ec image.ExecCtx, detail string) {
+	if c.inj == nil {
+		return
+	}
+	c.inj.Record(ec.Now(), fault.KindOverflow, c.node, int(c.rank), detail)
+}
 
 // Begin is VT_begin: charge the table lookup; if the symbol is active,
 // record a timestamped Enter event.

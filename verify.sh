@@ -10,3 +10,10 @@ go test ./...
 
 # Short -race pass over the parallel cell runner.
 go test -race -run 'TestParallel|TestCellCache|TestRunner' ./internal/exp/
+
+# Race pass over the fault injector and the DPCL retry/backoff path.
+go test -race ./internal/fault/ ./internal/dpcl/
+
+# End-to-end fault smoke (guarded by -short elsewhere): a run with every
+# fault class enabled must terminate via timeout degradation.
+go test -run TestFaultSmoke ./internal/exp/
