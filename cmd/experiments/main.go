@@ -11,6 +11,17 @@
 //	experiments -fig7a -csv       # CSV output
 //	experiments -fig7a -max-cpus 8  # truncate the CPU sweep
 //	experiments -all -jsonl cells.jsonl -progress  # observable run
+//
+// Sweeps are supervised: a cell that panics, livelocks past the -max-events/
+// -max-virtual DES budget, or exceeds -cell-timeout of host time is retried
+// up to -max-attempts times (panics fail fast) and otherwise reported as a
+// structured failure while the rest of the sweep completes. With -cache-dir
+// every finished cell is journaled crash-safely, and -resume serves finished
+// cells from the journal, so a killed sweep picks up where it died:
+//
+//	experiments -all -cache-dir cache            # journal as it goes
+//	experiments -all -cache-dir cache -resume    # after a crash/SIGKILL
+//	experiments -all -cell-timeout 30s -max-attempts 3 -max-events 50000000
 package main
 
 import (
@@ -20,7 +31,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"time"
 
+	"dynprof/internal/des"
 	"dynprof/internal/exp"
 )
 
@@ -53,6 +67,13 @@ func run() error {
 		parallel = flag.Int("parallel", 0, "worker pool size for experiment cells (0 = GOMAXPROCS)")
 		jsonl    = flag.String("jsonl", "", "write one JSON line per figure cell to this file")
 		progress = flag.Bool("progress", false, "report cell progress and run metrics on stderr")
+
+		cacheDir    = flag.String("cache-dir", "", "journal finished cells to DIR/"+exp.StoreJournalName+" (crash-safe, fsynced)")
+		resume      = flag.Bool("resume", false, "serve finished cells from the -cache-dir journal instead of re-executing them")
+		cellTimeout = flag.Duration("cell-timeout", 0, "host wall-clock bound per cell attempt (0 = none)")
+		maxAttempts = flag.Int("max-attempts", 1, "attempts per cell for retryable failures (livelock, timeout)")
+		maxEvents   = flag.Uint64("max-events", 0, "DES budget: events per cell run before a livelock failure (0 = unlimited)")
+		maxVirtual  = flag.Duration("max-virtual", 0, "DES budget: virtual time per cell run before a livelock failure (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -61,6 +82,27 @@ func run() error {
 		SeedSet:     true,
 		MaxCPUs:     *maxCPUs,
 		Parallelism: *parallel,
+		CellTimeout: *cellTimeout,
+		MaxAttempts: *maxAttempts,
+		Budget:      des.Budget{MaxEvents: *maxEvents, MaxVirtual: des.Time(*maxVirtual / time.Nanosecond)},
+	}
+	if *resume && *cacheDir == "" {
+		return fmt.Errorf("-resume requires -cache-dir")
+	}
+	if *cacheDir != "" {
+		if !*resume {
+			// A fresh sweep starts a fresh journal: stale results from an
+			// earlier run must not be mistaken for this run's.
+			if err := os.Remove(filepath.Join(*cacheDir, exp.StoreJournalName)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		st, err := exp.OpenStore(*cacheDir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		opts.Store = st
 	}
 	if *progress {
 		opts.Progress = func(done, total, cacheHits int) {
@@ -154,11 +196,24 @@ func run() error {
 				return err
 			}
 		}
+		var failures int
+		for _, fig := range figs {
+			failures += len(fig.Failures)
+		}
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %d cell(s) failed (NaN holes in the figures above):\n", failures)
+			for _, fig := range figs {
+				for _, cf := range fig.Failures {
+					fmt.Fprintf(os.Stderr, "  %s %s/%d: %s after %d attempt(s): %s\n",
+						cf.Figure, cf.Series, cf.CPUs, cf.Cause, cf.Attempts, cf.Error)
+				}
+			}
+		}
 		if *progress {
 			m := runner.Metrics()
 			fmt.Fprintf(os.Stderr,
-				"cells=%d runs=%d cache-hits=%d workers=%d wall=%s busy=%s virtual=%.1fs utilization=%.0f%%\n",
-				m.Cells, m.Runs, m.CacheHits, m.Workers,
+				"cells=%d runs=%d cache-hits=%d store-hits=%d failures=%d retries=%d workers=%d wall=%s busy=%s virtual=%.1fs utilization=%.0f%%\n",
+				m.Cells, m.Runs, m.CacheHits, m.StoreHits, m.Failures, m.Retries, m.Workers,
 				m.Wall.Round(1e6), m.Busy.Round(1e6), m.Virtual.Seconds(), 100*m.Utilization())
 		}
 	}

@@ -384,6 +384,22 @@ func (ss *Session) Quit(p *des.Proc) {
 	ss.cl.Disconnect()
 }
 
+// Teardown releases the session's host-side state after an aborted
+// simulation (DES budget exhaustion, proc panic): it marks the session
+// quit and disconnects the DPCL client without driving any further
+// simulated work. Unlike Quit it needs no Proc — every Proc has already
+// been unwound by the scheduler's abort path — so supervising harnesses
+// can call it from plain host code. Idempotent, and a no-op after Quit.
+// Faults() remains usable afterwards, so failure reports can carry the
+// partial fault stream of the aborted run.
+func (ss *Session) Teardown() {
+	if ss.quit {
+		return
+	}
+	ss.quit = true
+	ss.cl.Disconnect()
+}
+
 // WaitAppExit blocks until the target finishes.
 func (ss *Session) WaitAppExit(p *des.Proc) { ss.job.WaitAll(p) }
 

@@ -1,0 +1,107 @@
+package des
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Budget bounds a Scheduler run so that a pathological event stream — a
+// Proc rescheduling itself forever, a protocol ping-ponging without
+// progress — terminates with a *LivelockError instead of spinning the
+// host. A zero field means unlimited; the zero Budget disables the guard
+// entirely and costs nothing.
+type Budget struct {
+	// MaxEvents bounds the number of events Run may execute.
+	MaxEvents uint64
+	// MaxVirtual bounds the virtual time Run may reach: the run is
+	// terminated before executing any event scheduled past this instant.
+	MaxVirtual Time
+}
+
+// IsZero reports whether the budget imposes no bound.
+func (b Budget) IsZero() bool { return b.MaxEvents == 0 && b.MaxVirtual == 0 }
+
+// Option configures a Scheduler at construction time.
+type Option func(*Scheduler)
+
+// WithBudget installs a progress guard: Run returns a *LivelockError once
+// the budget is exhausted, instead of executing further events.
+func WithBudget(b Budget) Option { return func(s *Scheduler) { s.budget = b } }
+
+// ProcLoad is one Proc's share of scheduler activity, used to identify the
+// hottest Procs of a terminated run.
+type ProcLoad struct {
+	// Proc is the Proc's name.
+	Proc string
+	// Steps is the number of times the scheduler resumed the Proc.
+	Steps uint64
+}
+
+// LivelockError is returned by Run when the scheduler's Budget is
+// exhausted: the simulation was still generating events but the run was
+// terminated before completing, which usually indicates a livelocked
+// model. All parked Procs have been aborted by the time Run returns it.
+type LivelockError struct {
+	// Events is the number of events executed before termination.
+	Events uint64
+	// Virtual is the virtual time the run had reached.
+	Virtual Time
+	// Hot lists the most frequently resumed Procs, busiest first — the
+	// likely participants in the livelock.
+	Hot []ProcLoad
+}
+
+func (e *LivelockError) Error() string {
+	msg := fmt.Sprintf("des: budget exceeded after %d events at virtual time %v (livelock?)",
+		e.Events, e.Virtual)
+	if len(e.Hot) > 0 {
+		parts := make([]string, len(e.Hot))
+		for i, h := range e.Hot {
+			parts[i] = fmt.Sprintf("%s (%d steps)", h.Proc, h.Steps)
+		}
+		msg += "; hottest procs: " + strings.Join(parts, ", ")
+	}
+	return msg
+}
+
+// exhausted reports whether the budget forbids executing the next pending
+// event (the head of the queue).
+func (s *Scheduler) exhausted() bool {
+	if s.budget.MaxEvents > 0 && s.executed >= s.budget.MaxEvents {
+		return true
+	}
+	if s.budget.MaxVirtual > 0 && s.events[0].at > s.budget.MaxVirtual {
+		return true
+	}
+	return false
+}
+
+// livelocked terminates an over-budget run: it aborts every parked Proc so
+// no goroutines leak and returns the structured diagnosis.
+func (s *Scheduler) livelocked() *LivelockError {
+	err := &LivelockError{Events: s.executed, Virtual: s.now, Hot: s.hotProcs(3)}
+	s.abortAll()
+	return err
+}
+
+// hotProcs ranks Procs by resume count, busiest first (ties by name), and
+// returns at most n entries with non-zero activity.
+func (s *Scheduler) hotProcs(n int) []ProcLoad {
+	loads := make([]ProcLoad, 0, len(s.procs))
+	for _, p := range s.procs {
+		if p.steps > 0 {
+			loads = append(loads, ProcLoad{Proc: p.name, Steps: p.steps})
+		}
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].Steps != loads[j].Steps {
+			return loads[i].Steps > loads[j].Steps
+		}
+		return loads[i].Proc < loads[j].Proc
+	})
+	if len(loads) > n {
+		loads = loads[:n]
+	}
+	return loads
+}

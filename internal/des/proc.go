@@ -1,6 +1,9 @@
 package des
 
-import "errors"
+import (
+	"errors"
+	"runtime/debug"
+)
 
 // errAborted is panicked inside a Proc goroutine when the scheduler tears
 // the simulation down; the Spawn wrapper recovers it so the goroutine exits
@@ -25,6 +28,7 @@ type Proc struct {
 	started   bool
 	daemon    bool
 	blockedOn string
+	steps     uint64
 }
 
 // SetDaemon marks the Proc as a service process: one that legitimately
@@ -47,7 +51,7 @@ func (s *Scheduler) Spawn(name string, fn func(p *Proc)) *Proc {
 	go func() {
 		defer func() {
 			if r := recover(); r != nil && r != errAborted {
-				s.fatal = &procPanic{proc: p.name, value: r}
+				s.fatal = &ProcPanicError{Proc: p.name, Value: r, Stack: debug.Stack()}
 			}
 			p.done = true
 			p.parked <- struct{}{}
@@ -69,6 +73,7 @@ func (s *Scheduler) step(p *Proc) {
 	if p.done {
 		return
 	}
+	p.steps++
 	p.resume <- resumeMsg{abort: p.killed}
 	<-p.parked
 }

@@ -38,25 +38,45 @@ func (h *eventHeap) Pop() (popped any) {
 // that calls Run (Procs are resumed synchronously inside Run, so Proc code
 // also effectively runs under Run).
 type Scheduler struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	procs   []*Proc
-	rng     *RNG
-	stopped bool
-	fatal   *procPanic
+	now      Time
+	seq      uint64
+	events   eventHeap
+	procs    []*Proc
+	rng      *RNG
+	stopped  bool
+	budget   Budget
+	executed uint64
+	fatal    *ProcPanicError
 }
 
-// procPanic records a panic raised inside a Proc so that Run can re-raise
-// it on the driving goroutine with context attached.
-type procPanic struct {
-	proc  string
-	value any
+// ProcPanicError is the typed value Run panics with when a Proc panics: it
+// preserves the original panic value and the panicking goroutine's stack
+// instead of flattening both into a formatted string, so supervising
+// harnesses can classify the failure and report the real fault site.
+type ProcPanicError struct {
+	// Proc is the name of the Proc that panicked.
+	Proc string
+	// Value is the original panic value, unmodified.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at the point of
+	// recovery (before the Proc goroutine unwound).
+	Stack []byte
 }
 
-// NewScheduler returns a Scheduler with its clock at zero, seeded with seed.
-func NewScheduler(seed uint64) *Scheduler {
-	return &Scheduler{rng: NewRNG(seed)}
+// Error renders the panic without the stack; the stack stays available on
+// the field so messages remain deterministic for identical simulations.
+func (e *ProcPanicError) Error() string {
+	return fmt.Sprintf("des: panic in proc %q: %v", e.Proc, e.Value)
+}
+
+// NewScheduler returns a Scheduler with its clock at zero, seeded with
+// seed and configured by opts (e.g. WithBudget).
+func NewScheduler(seed uint64, opts ...Option) *Scheduler {
+	s := &Scheduler{rng: NewRNG(seed)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Now reports the current virtual time.
@@ -116,16 +136,22 @@ func (e *DeadlockError) Error() string {
 
 // Run executes events until the queue is empty or Stop is called. It
 // returns a *DeadlockError if Procs remain blocked with no pending events,
-// and nil otherwise. Panics raised inside Procs are re-raised here.
+// a *LivelockError if the scheduler's Budget is exhausted first, and nil
+// otherwise. A panic raised inside a Proc is re-raised here as a typed
+// *ProcPanicError carrying the original panic value and stack.
 func (s *Scheduler) Run() error {
 	for len(s.events) > 0 && !s.stopped {
+		if s.exhausted() {
+			return s.livelocked()
+		}
 		ev := heap.Pop(&s.events).(*event)
 		s.now = ev.at
+		s.executed++
 		ev.fn()
 		if s.fatal != nil {
 			f := s.fatal
 			s.abortAll()
-			panic(fmt.Sprintf("des: panic in proc %q: %v", f.proc, f.value))
+			panic(f)
 		}
 	}
 	var blocked []string
@@ -145,8 +171,9 @@ func (s *Scheduler) Run() error {
 }
 
 // abortAll resumes every parked proc with the abort flag so its goroutine
-// unwinds and exits. Used on Stop, deadlock and fatal-panic paths so the
-// process does not leak goroutines.
+// unwinds and exits. Used on the Stop, deadlock, budget-exhaustion and
+// fatal-panic paths (the last re-raising the Proc's *ProcPanicError after
+// teardown) so the process does not leak goroutines.
 func (s *Scheduler) abortAll() {
 	for _, p := range s.procs {
 		for !p.done {

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"time"
 
 	"dynprof/internal/apps"
 	"dynprof/internal/des"
@@ -29,6 +30,11 @@ type Figure struct {
 	XLabel string
 	YLabel string
 	Series []Series
+	// Failures lists the cells that exhausted harness supervision, in
+	// presentation order. Each failed cell leaves a NaN point at its
+	// position, so healthy cells assemble byte-identically to a
+	// failure-free run of the same specs.
+	Failures []CellFailure
 }
 
 // At returns the series value at the given CPU count (NaN-free: ok=false
@@ -70,6 +76,30 @@ type Options struct {
 	// counts. Calls are serialized but arrive in completion order, which
 	// is nondeterministic under parallelism.
 	Progress func(done, total, cacheHits int)
+
+	// Supervision. These bound how badly one cell can hurt a sweep; all
+	// are harness configuration and never feed spec keys.
+
+	// CellTimeout bounds the host wall-clock time of one cell attempt;
+	// 0 disables the watchdog. A timed-out attempt's goroutine is
+	// abandoned (goroutines cannot be killed), so pair CellTimeout with
+	// Budget to also stop the abandoned simulation from consuming CPU.
+	CellTimeout time.Duration
+	// MaxAttempts bounds execution attempts per cell for retryable
+	// failures (livelock, timeout); panics and model errors always fail
+	// fast. 0 or 1 means a single attempt.
+	MaxAttempts int
+	// RetryBackoff is the base host delay before a retry, doubled per
+	// subsequent attempt; 0 selects DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// Budget bounds each cell's DES run (zero = unlimited). Exhaustion
+	// surfaces as a retryable livelock failure carrying the hottest
+	// Procs of the runaway simulation.
+	Budget des.Budget
+	// Store, if non-nil, persists every successful cell result and is
+	// consulted before execution (after the in-memory memo cache), so a
+	// killed sweep resumes where it died.
+	Store *Store
 }
 
 func (o Options) machine() *machine.Config {

@@ -140,10 +140,11 @@ func RunPolicy(mach *machine.Config, app *guide.App, p Policy, cpus int, args ma
 
 // runDynamic measures the Dynamic policy: dynprof spawns the target,
 // instruments the application's subset before the main computation (via
-// insert-file, as Section 4.2 describes) and detaches.
-func runDynamic(mach *machine.Config, app *guide.App, cpus int, args map[string]int, seed uint64) (Result, error) {
+// insert-file, as Section 4.2 describes) and detaches. An aborted run
+// (budget trip, proc panic) tears the session down host-side.
+func runDynamic(mach *machine.Config, app *guide.App, cpus int, args map[string]int, seed uint64, bud des.Budget) (Result, error) {
 	res := Result{App: app.Name, Policy: Dynamic, CPUs: cpus}
-	s := des.NewScheduler(seed)
+	s := des.NewScheduler(seed, des.WithBudget(bud))
 	script := "insert-file subset.list\nstart\nquit\n"
 	var ss *core.Session
 	var sessErr error
@@ -161,7 +162,11 @@ func runDynamic(mach *machine.Config, app *guide.App, cpus int, args map[string]
 		}
 		sessErr = ss.RunScript(p, strings.NewReader(script))
 	})
-	if err := s.Run(); err != nil {
+	if err := runScheduler(s); err != nil {
+		if ss != nil {
+			ss.Teardown()
+			res.Faults = ss.Faults()
+		}
 		return res, err
 	}
 	if sessErr != nil {

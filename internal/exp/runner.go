@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -67,8 +68,18 @@ type Metrics struct {
 	Cells int
 	// Runs is the number of specs actually executed.
 	Runs int
-	// CacheHits is the number of cells served from the memo cache.
+	// CacheHits is the number of cells served from the in-memory memo
+	// cache.
 	CacheHits int
+	// StoreHits is the number of cells served from the persistent result
+	// store (Options.Store) without re-execution.
+	StoreHits int
+	// Failures is the number of executed specs that exhausted harness
+	// supervision (they assemble as NaN holes with CellFailure records).
+	Failures int
+	// Retries is the number of re-attempts after retryable failures
+	// (livelock, timeout) across all executed specs.
+	Retries int
 	// Wall is the host wall-clock time spent inside Figures/Run calls.
 	Wall time.Duration
 	// Busy is the summed per-worker host time executing cells.
@@ -80,7 +91,10 @@ type Metrics struct {
 }
 
 // Utilization reports Busy as a fraction of Wall across the worker pool
-// (1.0 = every worker executed cells for the whole run).
+// (1.0 = every worker executed cells for the whole run). A Runner that
+// has not executed a Figures call yet — zero Workers or zero Wall, e.g.
+// when every cell was served from the cache or the store — reports 0
+// rather than dividing by zero.
 func (m Metrics) Utilization() float64 {
 	if m.Wall <= 0 || m.Workers <= 0 {
 		return 0
@@ -111,21 +125,42 @@ type CellEvent struct {
 	// Faults is the cell run's structured fault-event stream; omitted
 	// for cells on fault-free machines.
 	Faults []fault.Event `json:"faults,omitempty"`
+	// StoreHit marks a cell served from the persistent result store.
+	StoreHit bool `json:"store_hit,omitempty"`
+	// Failed marks a cell that exhausted harness supervision: Value is 0
+	// here (NaN is not valid JSON) and the figure holds a NaN hole.
+	Failed bool `json:"failed,omitempty"`
+	// Cause classifies a failed cell (panic/livelock/timeout/error).
+	Cause FailureCause `json:"cause,omitempty"`
+	// Attempts is the number of execution attempts for freshly executed
+	// cells (0 when served from a cache or the store).
+	Attempts int `json:"attempts,omitempty"`
+	// Error is a failed cell's final error message.
+	Error string `json:"error,omitempty"`
 }
 
 // cacheEntry is one memoized cell execution.
 type cacheEntry struct {
-	val  any
-	err  error
-	wall time.Duration
-	virt des.Time
+	val      any
+	err      error
+	wall     time.Duration
+	virt     des.Time
+	attempts int
+	stored   bool // served from the persistent store
 }
 
 // Runner schedules experiment cells: it enumerates the work-list of any
 // set of figures, executes unique cells on a bounded worker pool,
 // memoizes results by spec key across figures and calls, and reassembles
 // each figure in deterministic order — parallel output is byte-identical
-// to sequential. A Runner is safe for concurrent use.
+// to sequential. Every execution is supervised (recover, wall-clock
+// watchdog, bounded retry per Options); a cell that still fails leaves a
+// NaN hole and a CellFailure record instead of aborting the sweep, and a
+// persistent Options.Store lets a killed sweep resume without recomputing
+// finished cells. Failed executions are memoized like successes — the
+// failure was deterministic under supervision, so the Runner never
+// silently re-attempts it within one process. A Runner is safe for
+// concurrent use.
 type Runner struct {
 	opts Options
 
@@ -193,11 +228,11 @@ func (r *Runner) runPlan(plan *figurePlan) (*Figure, error) {
 func (r *Runner) runPlans(plans []*figurePlan) ([]*Figure, error) {
 	start := time.Now()
 
-	// Enumerate: one job per spec key that is neither cached nor already
-	// queued in this call.
+	// Enumerate: one job per spec key that is neither cached, served by
+	// the persistent store, nor already queued in this call.
 	var jobs []cellSpec
 	queued := make(map[string]bool)
-	total := 0
+	total, storeHits := 0, 0
 	r.mu.Lock()
 	for _, p := range plans {
 		for _, c := range p.cells {
@@ -209,17 +244,26 @@ func (r *Runner) runPlans(plans []*figurePlan) ([]*Figure, error) {
 			if _, ok := r.cache[k]; ok {
 				continue
 			}
+			if r.opts.Store != nil {
+				if v, ok := r.opts.Store.Get(k); ok {
+					r.cache[k] = &cacheEntry{val: v, virt: virtualOf(v), stored: true}
+					storeHits++
+					continue
+				}
+			}
 			queued[k] = true
 			jobs = append(jobs, c.spec)
 		}
 	}
-	hits := total - len(jobs)
+	hits := total - len(jobs) - storeHits
 	r.met.Cells += total
 	r.met.CacheHits += hits
-	done := hits
+	r.met.StoreHits += storeHits
+	// Progress reports store hits as cached: neither re-executes.
+	done, served := hits+storeHits, hits+storeHits
 	r.mu.Unlock()
 	if r.opts.Progress != nil && total > 0 {
-		r.opts.Progress(done, total, hits)
+		r.opts.Progress(done, total, served)
 	}
 
 	// Execute: drain unique jobs through the bounded pool.
@@ -227,6 +271,7 @@ func (r *Runner) runPlans(plans []*figurePlan) ([]*Figure, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	var storeErr error
 	if len(jobs) > 0 {
 		jobCh := make(chan cellSpec)
 		var wg sync.WaitGroup
@@ -236,19 +281,30 @@ func (r *Runner) runPlans(plans []*figurePlan) ([]*Figure, error) {
 				defer wg.Done()
 				for spec := range jobCh {
 					t0 := time.Now()
-					val, err := spec.runCell()
-					e := &cacheEntry{val: val, err: err, wall: time.Since(t0), virt: virtualOf(val)}
+					val, err, attempts := superviseCell(spec, r.opts)
+					e := &cacheEntry{val: val, err: err, wall: time.Since(t0), virt: virtualOf(val), attempts: attempts}
+					var putErr error
+					if err == nil && r.opts.Store != nil {
+						putErr = r.opts.Store.Put(spec.Key(), val)
+					}
 					r.mu.Lock()
 					r.cache[spec.Key()] = e
 					r.met.Runs++
 					r.met.Busy += e.wall
 					r.met.Virtual += e.virt
+					r.met.Retries += attempts - 1
+					if err != nil {
+						r.met.Failures++
+					}
+					if putErr != nil && storeErr == nil {
+						storeErr = putErr
+					}
 					done++
 					dn := done
 					prog := r.opts.Progress
 					r.mu.Unlock()
 					if prog != nil {
-						prog(dn, total, hits)
+						prog(dn, total, served)
 					}
 				}
 			}()
@@ -259,11 +315,17 @@ func (r *Runner) runPlans(plans []*figurePlan) ([]*Figure, error) {
 		close(jobCh)
 		wg.Wait()
 	}
+	// A broken store means resume would silently lose results the user
+	// asked to persist: fail the sweep loudly.
+	if storeErr != nil {
+		return nil, storeErr
+	}
 
-	// Assemble: walk every plan in presentation order; the first cell
-	// error (deterministically ordered) aborts. The first occurrence of a
-	// key executed in this call is reported as a fresh run, every other
-	// occurrence as a cache hit.
+	// Assemble: walk every plan in presentation order. A failed cell
+	// contributes a NaN point and a CellFailure record instead of
+	// aborting the sweep, so healthy cells keep their byte-identical
+	// values. The first occurrence of a key executed in this call is
+	// reported as a fresh run, every other occurrence as a cache hit.
 	emitted := make(map[string]bool)
 	figs := make([]*Figure, len(plans))
 	for i, p := range plans {
@@ -275,26 +337,40 @@ func (r *Runner) runPlans(plans []*figurePlan) ([]*Figure, error) {
 			if e == nil {
 				return nil, fmt.Errorf("exp: %s: cell %q missing after run", c.desc, k)
 			}
-			if e.err != nil {
-				return nil, fmt.Errorf("%s: %w", c.desc, e.err)
+			fresh := queued[k] && !emitted[k]
+			ev := CellEvent{
+				Figure:   p.fig.ID,
+				Series:   p.fig.Series[c.series].Label,
+				CPUs:     c.cpus,
+				Key:      k,
+				CacheHit: !fresh,
+				StoreHit: e.stored,
+				SimS:     e.virt.Seconds(),
 			}
-			v := c.value(e.val)
-			p.fig.Series[c.series].Points = append(p.fig.Series[c.series].Points, Point{CPUs: c.cpus, Value: v})
-			if r.opts.OnCell != nil {
-				fresh := queued[k] && !emitted[k]
-				ev := CellEvent{
+			if fresh {
+				ev.WallMS = float64(e.wall) / float64(time.Millisecond)
+				ev.Attempts = e.attempts
+			}
+			if e.err != nil {
+				p.fig.Series[c.series].Points = append(p.fig.Series[c.series].Points, Point{CPUs: c.cpus, Value: math.NaN()})
+				p.fig.Failures = append(p.fig.Failures, CellFailure{
 					Figure:   p.fig.ID,
 					Series:   p.fig.Series[c.series].Label,
 					CPUs:     c.cpus,
 					Key:      k,
-					Value:    v,
-					CacheHit: !fresh,
-					SimS:     e.virt.Seconds(),
-					Faults:   faultsOf(e.val),
-				}
-				if fresh {
-					ev.WallMS = float64(e.wall) / float64(time.Millisecond)
-				}
+					Cause:    CauseOf(e.err),
+					Attempts: e.attempts,
+					Error:    e.err.Error(),
+				})
+				ev.Failed = true
+				ev.Cause = CauseOf(e.err)
+				ev.Error = e.err.Error()
+			} else {
+				ev.Value = c.value(e.val)
+				ev.Faults = faultsOf(e.val)
+				p.fig.Series[c.series].Points = append(p.fig.Series[c.series].Points, Point{CPUs: c.cpus, Value: ev.Value})
+			}
+			if r.opts.OnCell != nil {
 				r.opts.OnCell(ev)
 			}
 			emitted[k] = true
@@ -366,7 +442,9 @@ func (r *Runner) RunHybrid(spec HybridSpec) (HybridResult, error) {
 	return v.(HybridResult), nil
 }
 
-// runMemo serves one spec through the cache, executing it on a miss.
+// runMemo serves one spec through the cache (then the persistent store),
+// executing it under supervision on a miss. Unlike figure assembly, the
+// single-spec path returns the failure as an error.
 func (r *Runner) runMemo(spec cellSpec) (any, error) {
 	k := spec.Key()
 	r.mu.Lock()
@@ -377,15 +455,33 @@ func (r *Runner) runMemo(spec cellSpec) (any, error) {
 		return e.val, e.err
 	}
 	r.mu.Unlock()
+	if r.opts.Store != nil {
+		if v, ok := r.opts.Store.Get(k); ok {
+			r.mu.Lock()
+			r.cache[k] = &cacheEntry{val: v, virt: virtualOf(v), stored: true}
+			r.met.StoreHits++
+			r.mu.Unlock()
+			return v, nil
+		}
+	}
 	t0 := time.Now()
-	val, err := spec.runCell()
-	e := &cacheEntry{val: val, err: err, wall: time.Since(t0), virt: virtualOf(val)}
+	val, err, attempts := superviseCell(spec, r.opts)
+	if err == nil && r.opts.Store != nil {
+		if putErr := r.opts.Store.Put(k, val); putErr != nil {
+			return val, putErr
+		}
+	}
+	e := &cacheEntry{val: val, err: err, wall: time.Since(t0), virt: virtualOf(val), attempts: attempts}
 	r.mu.Lock()
 	r.cache[k] = e
 	r.met.Runs++
 	r.met.Busy += e.wall
 	r.met.Wall += e.wall
 	r.met.Virtual += e.virt
+	r.met.Retries += attempts - 1
+	if err != nil {
+		r.met.Failures++
+	}
 	r.mu.Unlock()
 	return val, err
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"dynprof/internal/machine"
 )
@@ -231,6 +232,29 @@ func TestRunnerUnknownFigure(t *testing.T) {
 	_, err := NewRunner(Options{}).Figure("fig42")
 	if err == nil || !strings.Contains(err.Error(), "fig42") {
 		t.Errorf("want unknown-figure error naming fig42, got %v", err)
+	}
+}
+
+// TestUtilizationZeroGuard: Utilization never divides by zero — a Runner
+// that has not executed a pool (zero Workers, e.g. everything served from
+// cache or store) or has spent no wall time reports 0, and the ratio is
+// clamped to 1.
+func TestUtilizationZeroGuard(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Metrics
+		want float64
+	}{
+		{"zero metrics", Metrics{}, 0},
+		{"zero workers (all cached)", Metrics{Busy: time.Second, Wall: time.Second}, 0},
+		{"zero wall", Metrics{Busy: time.Second, Workers: 4}, 0},
+		{"half busy", Metrics{Busy: time.Second, Wall: 2 * time.Second, Workers: 1}, 0.5},
+		{"clamped", Metrics{Busy: 3 * time.Second, Wall: time.Second, Workers: 2}, 1},
+	}
+	for _, tc := range cases {
+		if got := tc.m.Utilization(); got != tc.want {
+			t.Errorf("%s: Utilization = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }
 

@@ -43,8 +43,11 @@ type cellSpec interface {
 	// Key canonicalises the spec: two specs with equal keys describe the
 	// same deterministic run and may share one execution.
 	Key() string
-	// runCell executes the cell and returns its typed result.
-	runCell() (any, error)
+	// runCell executes the cell under a DES budget (zero = unlimited) and
+	// returns its typed result. The budget is harness configuration, not
+	// spec identity: it never feeds the key, because a budget that is not
+	// hit leaves the run byte-identical.
+	runCell(bud des.Budget) (any, error)
 }
 
 // RunSpec is a first-class descriptor of one experiment cell: a single
@@ -101,7 +104,7 @@ func (s RunSpec) Key() string {
 		name, s.Policy, s.CPUs, s.machine().Name, argsKey(s.Args), s.Seed, faultKey(s.machine()))
 }
 
-func (s RunSpec) runCell() (any, error) { return Run(s) }
+func (s RunSpec) runCell(bud des.Budget) (any, error) { return runSpecCell(s, bud) }
 
 // argsKey renders an input deck in sorted-key order.
 func argsKey(args map[string]int) string {
@@ -128,25 +131,29 @@ func argsKey(args map[string]int) string {
 // Run executes one experiment cell described by spec and returns its
 // measurements. Every run happens inside a fresh scheduler, so concurrent
 // Run calls on distinct specs are safe.
-func Run(spec RunSpec) (Result, error) {
+func Run(spec RunSpec) (Result, error) { return runSpecCell(spec, des.Budget{}) }
+
+// runSpecCell is Run with a DES budget attached (the Runner's supervised
+// path); a Proc panic surfaces as a *des.ProcPanicError return.
+func runSpecCell(spec RunSpec, bud des.Budget) (Result, error) {
 	app, err := spec.app()
 	if err != nil {
 		return Result{}, err
 	}
 	res := Result{App: app.Name, Policy: spec.Policy, CPUs: spec.CPUs}
 	if spec.Policy == Dynamic {
-		return runDynamic(spec.machine(), app, spec.CPUs, spec.Args, spec.Seed)
+		return runDynamic(spec.machine(), app, spec.CPUs, spec.Args, spec.Seed, bud)
 	}
 	bin, err := guide.Build(app, BuildOptsFor(app, spec.Policy))
 	if err != nil {
 		return res, err
 	}
-	s := des.NewScheduler(spec.Seed)
+	s := des.NewScheduler(spec.Seed, des.WithBudget(bud))
 	j, err := guide.Launch(s, spec.machine(), bin, guide.LaunchOpts{Procs: spec.CPUs, Args: spec.Args, CountOnly: true})
 	if err != nil {
 		return res, err
 	}
-	if err := s.Run(); err != nil {
+	if err := runScheduler(s); err != nil {
 		return res, err
 	}
 	res.Elapsed = j.MainElapsed()
@@ -201,7 +208,7 @@ func (s ConfSyncSpec) Key() string {
 		n.CPUs, n.Reps, n.NFuncs, n.Changes, n.WriteStats, n.Machine.Name, n.Seed, faultKey(n.Machine))
 }
 
-func (s ConfSyncSpec) runCell() (any, error) { return RunConfSync(s) }
+func (s ConfSyncSpec) runCell(bud des.Budget) (any, error) { return runConfSyncCell(s, bud) }
 
 // ConfSyncResult is one measured ConfSync probe.
 type ConfSyncResult struct {
@@ -214,6 +221,11 @@ type ConfSyncResult struct {
 
 // RunConfSync executes one VT_confsync probe cell.
 func RunConfSync(spec ConfSyncSpec) (ConfSyncResult, error) {
+	return runConfSyncCell(spec, des.Budget{})
+}
+
+// runConfSyncCell is RunConfSync with a DES budget attached.
+func runConfSyncCell(spec ConfSyncSpec, bud des.Budget) (ConfSyncResult, error) {
 	spec = spec.norm()
 	res := ConfSyncResult{CPUs: spec.CPUs}
 	app := &guide.App{
@@ -255,12 +267,12 @@ func RunConfSync(spec ConfSyncSpec) (ConfSyncResult, error) {
 	if err != nil {
 		return res, err
 	}
-	s := des.NewScheduler(spec.Seed)
+	s := des.NewScheduler(spec.Seed, des.WithBudget(bud))
 	j, err := guide.Launch(s, spec.Machine, bin, guide.LaunchOpts{Procs: spec.CPUs, CountOnly: true})
 	if err != nil {
 		return res, err
 	}
-	if err := s.Run(); err != nil {
+	if err := runScheduler(s); err != nil {
 		return res, err
 	}
 	if !j.Done() {
@@ -310,7 +322,7 @@ func (s HybridSpec) Key() string {
 		n.WithPoints, n.CPUs, n.Machine.Name, argsKey(n.Args), n.Seed, faultKey(n.Machine))
 }
 
-func (s HybridSpec) runCell() (any, error) { return RunHybrid(s) }
+func (s HybridSpec) runCell(bud des.Budget) (any, error) { return runHybridCell(s, bud) }
 
 // HybridResult is one measured hybrid run.
 type HybridResult struct {
@@ -326,13 +338,20 @@ type HybridResult struct {
 // RunHybrid executes one hybrid cell: dynprof spawns Sppm, optionally
 // plants the confsync safe point, starts the target and detaches.
 func RunHybrid(spec HybridSpec) (HybridResult, error) {
+	return runHybridCell(spec, des.Budget{})
+}
+
+// runHybridCell is RunHybrid with a DES budget attached. An aborted run
+// (budget trip, proc panic) tears the dynprof session down host-side so
+// the failure report still carries its fault stream.
+func runHybridCell(spec HybridSpec, bud des.Budget) (HybridResult, error) {
 	spec = spec.norm()
 	res := HybridResult{CPUs: spec.CPUs}
 	app, err := apps.Get("sppm")
 	if err != nil {
 		return res, err
 	}
-	s := des.NewScheduler(spec.Seed)
+	s := des.NewScheduler(spec.Seed, des.WithBudget(bud))
 	var ss *core.Session
 	var sessErr error
 	s.Spawn("dynprof", func(p *des.Proc) {
@@ -354,7 +373,11 @@ func RunHybrid(spec HybridSpec) (HybridResult, error) {
 		ss.Start(p)
 		ss.Quit(p)
 	})
-	if err := s.Run(); err != nil {
+	if err := runScheduler(s); err != nil {
+		if ss != nil {
+			ss.Teardown()
+			res.Faults = ss.Faults()
+		}
 		return res, err
 	}
 	if sessErr != nil {

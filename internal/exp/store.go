@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// StoreJournalName is the journal file a Store keeps under its directory.
+const StoreJournalName = "results.jsonl"
+
+// storeRecord is one journal line: the cell's canonical spec key plus its
+// typed result (exactly one of the result fields is set). The format is
+// append-only JSONL so a crash can at worst tear the final record.
+type storeRecord struct {
+	Key      string          `json:"key"`
+	Run      *Result         `json:"run,omitempty"`
+	ConfSync *ConfSyncResult `json:"confsync,omitempty"`
+	Hybrid   *HybridResult   `json:"hybrid,omitempty"`
+}
+
+// value returns the record's typed result.
+func (rec *storeRecord) value() (any, error) {
+	switch {
+	case rec.Run != nil:
+		return *rec.Run, nil
+	case rec.ConfSync != nil:
+		return *rec.ConfSync, nil
+	case rec.Hybrid != nil:
+		return *rec.Hybrid, nil
+	}
+	return nil, fmt.Errorf("exp: store record %q carries no result", rec.Key)
+}
+
+// Store is a persistent result store for experiment cells: an append-only
+// JSONL journal keyed by canonical spec keys. The Runner consults it
+// before executing a cell and appends every fresh success, so a killed
+// sweep resumes where it died instead of recomputing finished cells.
+//
+// Crash safety: records are fsynced as they are appended, and reload
+// tolerates a torn final record (the signature of a crash mid-append) by
+// ignoring it. Corruption anywhere else is reported as an error. When the
+// same key appears more than once, the last intact record wins.
+//
+// A Store is safe for concurrent use.
+type Store struct {
+	mu  sync.Mutex
+	f   *os.File
+	idx map[string]any
+}
+
+// OpenStore opens (creating as needed) the journal under dir and loads
+// every intact record into the lookup index.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: store: %w", err)
+	}
+	path := filepath.Join(dir, StoreJournalName)
+	idx, err := loadJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("exp: store: %w", err)
+	}
+	return &Store{f: f, idx: idx}, nil
+}
+
+// loadJournal reads a journal into a key index, tolerating a torn final
+// record and nothing else.
+func loadJournal(path string) (map[string]any, error) {
+	idx := make(map[string]any)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return idx, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("exp: store: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec storeRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				// A torn final record is the expected residue of a crash
+				// mid-append; everything before it is intact.
+				break
+			}
+			return nil, fmt.Errorf("exp: store: journal %s corrupt at line %d: %w", path, i+1, err)
+		}
+		v, err := rec.value()
+		if err != nil {
+			return nil, err
+		}
+		idx[rec.Key] = v
+	}
+	return idx, nil
+}
+
+// Len reports the number of distinct keys in the index.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.idx)
+}
+
+// Get returns the stored result for a canonical spec key.
+func (st *Store) Get(key string) (any, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	v, ok := st.idx[key]
+	return v, ok
+}
+
+// Put appends one successful cell result to the journal (fsynced) and
+// indexes it. Only the three cell result types are storable; failures are
+// never persisted — a resumed sweep re-attempts them.
+func (st *Store) Put(key string, val any) error {
+	rec := storeRecord{Key: key}
+	switch v := val.(type) {
+	case Result:
+		rec.Run = &v
+	case ConfSyncResult:
+		rec.ConfSync = &v
+	case HybridResult:
+		rec.Hybrid = &v
+	default:
+		return fmt.Errorf("exp: store: unstorable cell result %T for %q", val, key)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("exp: store: %w", err)
+	}
+	line = append(line, '\n')
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, err := st.f.Write(line); err != nil {
+		return fmt.Errorf("exp: store: %w", err)
+	}
+	if err := st.f.Sync(); err != nil {
+		return fmt.Errorf("exp: store: %w", err)
+	}
+	st.idx[key] = val
+	return nil
+}
+
+// Close releases the journal file handle. The index stays readable.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.f.Close()
+}
+
+// Compact rewrites the journal to one record per live key (last wins),
+// dropping superseded duplicates, then atomically replaces the old
+// journal. Useful after many resumed sweeps over one cache directory.
+func (st *Store) Compact() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	path := st.f.Name()
+	tmp, err := os.CreateTemp(filepath.Dir(path), "results-*.jsonl")
+	if err != nil {
+		return fmt.Errorf("exp: store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for key, val := range st.idx {
+		rec := storeRecord{Key: key}
+		switch v := val.(type) {
+		case Result:
+			rec.Run = &v
+		case ConfSyncResult:
+			rec.ConfSync = &v
+		case HybridResult:
+			rec.Hybrid = &v
+		}
+		if err := enc.Encode(rec); err != nil {
+			tmp.Close()
+			return fmt.Errorf("exp: store: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("exp: store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("exp: store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("exp: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("exp: store: %w", err)
+	}
+	if err := st.f.Close(); err != nil {
+		return fmt.Errorf("exp: store: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("exp: store: %w", err)
+	}
+	st.f = f
+	return nil
+}

@@ -1,0 +1,250 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dynprof/internal/des"
+)
+
+// journalBytes reads the raw journal under dir.
+func journalBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, StoreJournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestStoreRoundTrip: all three result types survive Put/Close/reopen, and
+// unstorable values are rejected.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"k-run": Result{App: "smg98", Policy: Subset, CPUs: 4, Elapsed: 5 * des.Second, TraceBytes: 123},
+		"k-cs":  ConfSyncResult{CPUs: 8, Mean: 3 * des.Millisecond},
+		"k-hy":  HybridResult{CPUs: 4, Elapsed: des.Second, CreateAndInstrument: 20 * des.Millisecond},
+	}
+	for k, v := range want {
+		if err := st.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Put("k-bad", 42); err == nil || !strings.Contains(err.Error(), "unstorable") {
+		t.Errorf("unstorable Put error = %v", err)
+	}
+	if st.Len() != 3 {
+		t.Errorf("Len = %d, want 3", st.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 3 {
+		t.Errorf("reloaded Len = %d, want 3", st2.Len())
+	}
+	for k, v := range want {
+		got, ok := st2.Get(k)
+		if !ok || !reflect.DeepEqual(got, v) {
+			t.Errorf("Get(%q) = %+v, %t; want %+v", k, got, ok, v)
+		}
+	}
+}
+
+// TestStoreTornFinalRecord: a crash mid-append leaves a torn final line;
+// reload keeps everything before it and ignores the residue.
+func TestStoreTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Result{App: "sppm", Policy: None, CPUs: 2, Elapsed: des.Second}
+	if err := st.Put("intact", res); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	path := filepath.Join(dir, StoreJournalName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn","run":{"App":"s`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("torn final record must be tolerated, got %v", err)
+	}
+	defer st2.Close()
+	if st2.Len() != 1 {
+		t.Errorf("Len = %d, want the 1 intact record", st2.Len())
+	}
+	if _, ok := st2.Get("torn"); ok {
+		t.Error("torn record must not be indexed")
+	}
+	if got, ok := st2.Get("intact"); !ok || !reflect.DeepEqual(got, res) {
+		t.Errorf("intact record lost: %+v, %t", got, ok)
+	}
+}
+
+// TestStoreCorruptMiddle: corruption anywhere but the final line is not a
+// crash signature and must fail loudly, naming the line.
+func TestStoreCorruptMiddle(t *testing.T) {
+	dir := t.TempDir()
+	garbage := "not json at all\n" + `{"key":"ok","run":{"App":"sppm","Policy":3,"CPUs":2,"Elapsed":1,"CreateAndInstrument":0,"TraceBytes":0,"Faults":null}}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, StoreJournalName), []byte(garbage), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenStore(dir)
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("corrupt mid-journal error = %v, want a line-1 diagnosis", err)
+	}
+}
+
+// TestStoreLastRecordWins: duplicate keys resolve to the latest intact
+// record, both live and across a reload; Compact drops the superseded one.
+func TestStoreLastRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Result{App: "smg98", Policy: Full, CPUs: 2, Elapsed: des.Second}
+	second := Result{App: "smg98", Policy: Full, CPUs: 2, Elapsed: 2 * des.Second}
+	if err := st.Put("k", first); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("k", second); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if n := bytes.Count(journalBytes(t, dir), []byte("\n")); n != 2 {
+		t.Errorf("journal has %d records, want both appends", n)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := st2.Get("k"); !reflect.DeepEqual(got, second) {
+		t.Errorf("Get after reload = %+v, want the later record", got)
+	}
+	if err := st2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(journalBytes(t, dir), []byte("\n")); n != 1 {
+		t.Errorf("compacted journal has %d records, want 1", n)
+	}
+	// The handle stays usable for appends after compaction.
+	if err := st2.Put("k2", first); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	st3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if got, _ := st3.Get("k"); !reflect.DeepEqual(got, second) {
+		t.Errorf("post-compact Get(k) = %+v, want the later record", got)
+	}
+	if got, ok := st3.Get("k2"); !ok || !reflect.DeepEqual(got, first) {
+		t.Errorf("post-compact append lost: %+v, %t", got, ok)
+	}
+}
+
+// TestStoreRunnerResume: a second Runner over the same cache directory
+// re-executes nothing and assembles byte-identical output — the
+// kill-and-resume contract.
+func TestStoreRunnerResume(t *testing.T) {
+	dir := t.TempDir()
+	render := func(st *Store, onCell func(CellEvent)) string {
+		plan := supervisedPlan(healthyTestApp("steady"), healthyTestApp("steady2"))
+		r := NewRunner(Options{Parallelism: 2, Store: st, OnCell: onCell})
+		fig, err := r.runPlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := fig.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		m := r.Metrics()
+		if onCell == nil {
+			if m.Runs != 2 || m.StoreHits != 0 {
+				t.Errorf("first pass runs=%d store-hits=%d, want 2/0", m.Runs, m.StoreHits)
+			}
+		} else {
+			if m.Runs != 0 || m.StoreHits != 2 {
+				t.Errorf("resumed pass runs=%d store-hits=%d, want 0/2", m.Runs, m.StoreHits)
+			}
+		}
+		return b.String()
+	}
+
+	st1, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := render(st1, nil)
+	st1.Close()
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	var evs []CellEvent
+	resumed := render(st2, func(ev CellEvent) { evs = append(evs, ev) })
+	if first != resumed {
+		t.Errorf("resumed output differs from original:\n--- first ---\n%s\n--- resumed ---\n%s", first, resumed)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("resumed pass emitted %d events, want 2", len(evs))
+	}
+	for _, ev := range evs {
+		if !ev.StoreHit || ev.Failed {
+			t.Errorf("resumed event %+v, want a healthy store hit", ev)
+		}
+	}
+}
+
+// TestStoreSkipsFailures: failed cells are never persisted — a resumed
+// sweep must re-attempt them rather than trust a failure record.
+func TestStoreSkipsFailures(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	r := NewRunner(Options{Store: st})
+	if _, err := r.Run(RunSpec{AppDef: panicTestApp("explodes"), Policy: None, CPUs: 1, Seed: DefaultSeed}); err == nil {
+		t.Fatal("panicking spec must return an error from Run")
+	}
+	if st.Len() != 0 {
+		t.Errorf("store indexed %d records after a failure, want 0", st.Len())
+	}
+	if data := bytes.TrimSpace(journalBytes(t, dir)); len(data) != 0 {
+		t.Errorf("journal not empty after a failure: %q", data)
+	}
+}

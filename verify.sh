@@ -11,9 +11,31 @@ go test ./...
 # Short -race pass over the parallel cell runner.
 go test -race -run 'TestParallel|TestCellCache|TestRunner' ./internal/exp/
 
+# Race pass over the supervision layer (watchdog goroutines, retry loop)
+# and the persistent result store.
+go test -race -run 'TestSupervised|TestStore|TestFailure|TestRetry' ./internal/exp/
+
 # Race pass over the fault injector and the DPCL retry/backoff path.
 go test -race ./internal/fault/ ./internal/dpcl/
 
 # End-to-end fault smoke (guarded by -short elsewhere): a run with every
 # fault class enabled must terminate via timeout degradation.
 go test -run TestFaultSmoke ./internal/exp/
+
+# Kill-and-resume smoke: SIGKILL a journaled sweep mid-run, resume it,
+# and require byte-identical output vs. an uninterrupted run. The kill is
+# timing-dependent but the assertion is not: even if the first run
+# finishes before the kill lands, resume must still reproduce the bytes.
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+go build -o "$smoke/experiments" ./cmd/experiments
+"$smoke/experiments" -fig7a -fig8a -max-cpus 8 > "$smoke/baseline.txt"
+"$smoke/experiments" -fig7a -fig8a -max-cpus 8 -cache-dir "$smoke/cache" \
+    > "$smoke/interrupted.txt" 2>/dev/null &
+pid=$!
+sleep 0.2
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+"$smoke/experiments" -fig7a -fig8a -max-cpus 8 -cache-dir "$smoke/cache" \
+    -resume > "$smoke/resumed.txt"
+cmp "$smoke/baseline.txt" "$smoke/resumed.txt"
