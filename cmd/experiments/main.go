@@ -32,6 +32,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"dynprof/internal/des"
@@ -74,8 +77,46 @@ func run() error {
 		maxAttempts = flag.Int("max-attempts", 1, "attempts per cell for retryable failures (livelock, timeout)")
 		maxEvents   = flag.Uint64("max-events", 0, "DES budget: events per cell run before a livelock failure (0 = unlimited)")
 		maxVirtual  = flag.Duration("max-virtual", 0, "DES budget: virtual time per cell run before a livelock failure (0 = unlimited)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		execTrace  = flag.String("trace", "", "write a runtime execution trace of the sweep to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return err
+		}
+		defer trace.Stop()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // flush recent frees so the profile shows live heap
+			_ = pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
+	}
 
 	opts := exp.Options{
 		Seed:        *seed,

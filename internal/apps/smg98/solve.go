@@ -50,13 +50,24 @@ func (k *kernel) planeCoeffs(l *level) (center, cxy, cz float64) {
 func (k *kernel) relaxPlaneInterior(l *level, kz int, w, center, cxy, cz float64) {
 	k.call("smg_RelaxPlaneInterior", func() {
 		x, b, tmp := l.x, l.b, l.tmp
+		xd, bd, td := x.data, b.data, tmp.data
 		inv := 1.0 / center
 		for j := 1; j < x.ny-1; j++ {
+			// Row bases hoisted out of the cell loop; the float expression
+			// keeps the exact shape of the per-cell At form, so results are
+			// bit-identical.
+			xr := x.off(0, j, kz)
+			xs := x.off(0, j-1, kz)
+			xn := x.off(0, j+1, kz)
+			xl := x.off(0, j, kz-1)
+			xu := x.off(0, j, kz+1)
+			br := b.off(0, j, kz)
+			tr := tmp.off(0, j, kz)
 			for i := 1; i < x.nx-1; i++ {
-				sum := cxy*(x.At(i-1, j, kz)+x.At(i+1, j, kz)+x.At(i, j-1, kz)+x.At(i, j+1, kz)) +
-					cz*(x.At(i, j, kz-1)+x.At(i, j, kz+1))
-				xnew := (b.At(i, j, kz) - sum) * inv
-				tmp.Set(i, j, kz, (1-w)*x.At(i, j, kz)+w*xnew)
+				sum := cxy*(xd[xr+i-1]+xd[xr+i+1]+xd[xs+i]+xd[xn+i]) +
+					cz*(xd[xl+i]+xd[xu+i])
+				xnew := (bd[br+i] - sum) * inv
+				td[tr+i] = (1-w)*xd[xr+i] + w*xnew
 			}
 		}
 		k.work(int64(14 * (x.nx - 2) * (x.ny - 2)))
@@ -209,16 +220,22 @@ func (k *kernel) restrictPlane(fine, coarse *level, kz int) {
 		w1 := k.restrictWeightAt(1)
 		fz := 2 * kz
 		r, cb := fine.r, coarse.b
+		rd, cd := r.data, cb.data
+		below, above := fz-1 >= 0, fz+1 < fine.g.nz
 		for j := 0; j < cb.ny; j++ {
+			r0 := r.off(0, j, fz)
+			rm := r.off(0, j, fz-1)
+			rp := r.off(0, j, fz+1)
+			cr := cb.off(0, j, kz)
 			for i := 0; i < cb.nx; i++ {
-				v := w0 * r.At(i, j, fz)
-				if fz-1 >= 0 {
-					v += w1 * r.At(i, j, fz-1)
+				v := w0 * rd[r0+i]
+				if below {
+					v += w1 * rd[rm+i]
 				}
-				if fz+1 < fine.g.nz {
-					v += w1 * r.At(i, j, fz+1)
+				if above {
+					v += w1 * rd[rp+i]
 				}
-				cb.Set(i, j, kz, v)
+				cd[cr+i] = v
 			}
 		}
 		k.work(int64(9 * cb.nx * cb.ny))
@@ -240,9 +257,12 @@ func (k *kernel) interpPlaneEven(fine, coarse *level, kz int) {
 	k.call("smg_InterpPlaneEven", func() {
 		w := k.interpWeightAt(0)
 		cx, fx := coarse.x, fine.x
+		cd, fd := cx.data, fx.data
 		for j := 0; j < fx.ny; j++ {
+			fr := fx.off(0, j, 2*kz)
+			cr := cx.off(0, j, kz)
 			for i := 0; i < fx.nx; i++ {
-				fx.Set(i, j, 2*kz, fx.At(i, j, 2*kz)+w*cx.At(i, j, kz))
+				fd[fr+i] += w * cd[cr+i]
 			}
 		}
 		k.work(int64(7 * fx.nx * fx.ny))
@@ -258,13 +278,18 @@ func (k *kernel) interpPlaneOdd(fine, coarse *level, kz int) {
 		if fz >= fine.g.nz {
 			return
 		}
+		cd, fd := cx.data, fx.data
+		above := kz+1 < coarse.g.nz
 		for j := 0; j < fx.ny; j++ {
+			c0 := cx.off(0, j, kz)
+			c1 := cx.off(0, j, kz+1)
+			fr := fx.off(0, j, fz)
 			for i := 0; i < fx.nx; i++ {
-				v := w * cx.At(i, j, kz)
-				if kz+1 < coarse.g.nz {
-					v += w * cx.At(i, j, kz+1)
+				v := w * cd[c0+i]
+				if above {
+					v += w * cd[c1+i]
 				}
-				fx.Set(i, j, fz, fx.At(i, j, fz)+v)
+				fd[fr+i] += v
 			}
 		}
 		k.work(int64(7 * fx.nx * fx.ny))

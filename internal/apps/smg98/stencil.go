@@ -74,13 +74,22 @@ func (k *kernel) stencilCoarsenZ(st *Stencil) (out *Stencil) {
 // stencilApplyPlane computes out(plane kz) = A x restricted to plane kz.
 func (k *kernel) stencilApplyPlane(st *Stencil, out, x *Vector, kz int) {
 	k.call("smg_StencilApplyPlane", func() {
+		xd, od := x.data, out.data
+		center, cxy, cz := st.center, st.cxy, st.cz
 		for j := 0; j < x.ny; j++ {
 			ob := out.off(0, j, kz)
+			// Row bases hoisted; the float expression keeps the exact shape
+			// of the per-cell At form, so results are bit-identical.
+			xr := x.off(0, j, kz)
+			xs := x.off(0, j-1, kz)
+			xn := x.off(0, j+1, kz)
+			xl := x.off(0, j, kz-1)
+			xu := x.off(0, j, kz+1)
 			for i := 0; i < x.nx; i++ {
-				out.data[ob+i] = st.center*x.At(i, j, kz) +
-					st.cxy*(x.At(i-1, j, kz)+x.At(i+1, j, kz)+
-						x.At(i, j-1, kz)+x.At(i, j+1, kz)) +
-					st.cz*(x.At(i, j, kz-1)+x.At(i, j, kz+1))
+				od[ob+i] = center*xd[xr+i] +
+					cxy*(xd[xr+i-1]+xd[xr+i+1]+
+						xd[xs+i]+xd[xn+i]) +
+					cz*(xd[xl+i]+xd[xu+i])
 			}
 		}
 		k.work(int64(11 * x.nx * x.ny))

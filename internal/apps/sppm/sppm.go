@@ -211,9 +211,9 @@ func (k *kernel) sweepX(dt float64) {
 		pc := newPencil(st.nx)
 		for kz := 0; kz < st.nz; kz++ {
 			for j := 0; j < st.ny; j++ {
+				base := st.idx(0, j, kz)
 				for i := 0; i < st.nx; i++ {
-					id := st.idx(i, j, kz)
-					pc.rho[i+1], pc.mom[i+1], pc.en[i+1] = st.rho[id], st.mx[id], st.en[id]
+					pc.rho[i+1], pc.mom[i+1], pc.en[i+1] = st.rho[base+i], st.mx[base+i], st.en[base+i]
 				}
 				// Reflecting X boundaries.
 				pc.rho[0], pc.mom[0], pc.en[0] = pc.rho[1], -pc.mom[1], pc.en[1]
@@ -221,8 +221,7 @@ func (k *kernel) sweepX(dt float64) {
 				pc.rho[n+1], pc.mom[n+1], pc.en[n+1] = pc.rho[n], -pc.mom[n], pc.en[n]
 				k.sweepPencil(pc, dt)
 				for i := 0; i < st.nx; i++ {
-					id := st.idx(i, j, kz)
-					st.rho[id], st.mx[id], st.en[id] = pc.rho[i+1], pc.mom[i+1], pc.en[i+1]
+					st.rho[base+i], st.mx[base+i], st.en[base+i] = pc.rho[i+1], pc.mom[i+1], pc.en[i+1]
 				}
 			}
 		}
@@ -237,17 +236,19 @@ func (k *kernel) sweepY(dt float64) {
 		pc := newPencil(st.ny)
 		for kz := 0; kz < st.nz; kz++ {
 			for i := 0; i < st.nx; i++ {
+				id := st.idx(i, 0, kz)
 				for j := 0; j < st.ny; j++ {
-					id := st.idx(i, j, kz)
 					pc.rho[j+1], pc.mom[j+1], pc.en[j+1] = st.rho[id], st.my[id], st.en[id]
+					id += st.nx
 				}
 				pc.rho[0], pc.mom[0], pc.en[0] = pc.rho[1], -pc.mom[1], pc.en[1]
 				n := st.ny
 				pc.rho[n+1], pc.mom[n+1], pc.en[n+1] = pc.rho[n], -pc.mom[n], pc.en[n]
 				k.sweepPencil(pc, dt)
+				id = st.idx(i, 0, kz)
 				for j := 0; j < st.ny; j++ {
-					id := st.idx(i, j, kz)
 					st.rho[id], st.my[id], st.en[id] = pc.rho[j+1], pc.mom[j+1], pc.en[j+1]
+					id += st.nx
 				}
 			}
 		}
@@ -262,9 +263,11 @@ func (k *kernel) sweepZ(dt float64) {
 		pc := newPencil(st.nz)
 		for j := 0; j < st.ny; j++ {
 			for i := 0; i < st.nx; i++ {
+				id := st.idx(i, j, -1)
+				plane := st.nx * st.ny
 				for kz := -1; kz <= st.nz; kz++ {
-					id := st.idx(i, j, kz)
 					pc.rho[kz+1], pc.mom[kz+1], pc.en[kz+1] = st.rho[id], st.mz[id], st.en[id]
+					id += plane
 				}
 				if k.rank == 0 { // reflecting global low-Z boundary
 					pc.rho[0], pc.mom[0], pc.en[0] = pc.rho[1], -pc.mom[1], pc.en[1]
@@ -274,9 +277,10 @@ func (k *kernel) sweepZ(dt float64) {
 					pc.rho[n+1], pc.mom[n+1], pc.en[n+1] = pc.rho[n], -pc.mom[n], pc.en[n]
 				}
 				k.sweepPencil(pc, dt)
+				id = st.idx(i, j, 0)
 				for kz := 0; kz < st.nz; kz++ {
-					id := st.idx(i, j, kz)
 					st.rho[id], st.mz[id], st.en[id] = pc.rho[kz+1], pc.mom[kz+1], pc.en[kz+1]
+					id += plane
 				}
 			}
 		}
@@ -391,8 +395,9 @@ func (k *kernel) courantLimit() (dt float64) {
 		maxS := 1e-10
 		for kz := 0; kz < st.nz; kz++ {
 			for j := 0; j < st.ny; j++ {
+				base := st.idx(0, j, kz)
 				for i := 0; i < st.nx; i++ {
-					id := st.idx(i, j, kz)
+					id := base + i
 					rho := st.rho[id]
 					kin := 0.5 * (st.mx[id]*st.mx[id] + st.my[id]*st.my[id] + st.mz[id]*st.mz[id]) / rho
 					p := (gamma - 1) * (st.en[id] - kin)

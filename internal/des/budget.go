@@ -71,7 +71,7 @@ func (s *Scheduler) exhausted() bool {
 	if s.budget.MaxEvents > 0 && s.executed >= s.budget.MaxEvents {
 		return true
 	}
-	if s.budget.MaxVirtual > 0 && s.events[0].at > s.budget.MaxVirtual {
+	if s.budget.MaxVirtual > 0 && s.nextAt() > s.budget.MaxVirtual {
 		return true
 	}
 	return false

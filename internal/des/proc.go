@@ -63,7 +63,7 @@ func (s *Scheduler) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	s.After(0, func() { s.step(p) })
+	s.resumeAfter(0, p)
 	return p
 }
 
@@ -93,7 +93,7 @@ func (p *Proc) park(what string) {
 
 // wake schedules an immediate event that resumes p. Safe to call from any
 // event or Proc context.
-func (p *Proc) wake() { p.s.After(0, func() { p.s.step(p) }) }
+func (p *Proc) wake() { p.s.resumeAfter(0, p) }
 
 // Name reports the Proc's name (used in deadlock reports and traces).
 func (p *Proc) Name() string { return p.name }
@@ -110,7 +110,7 @@ func (p *Proc) Advance(d Time) {
 	if d < 0 {
 		panic("des: Advance with negative duration")
 	}
-	p.s.After(d, func() { p.s.step(p) })
+	p.s.resumeAfter(d, p)
 	p.park("advance")
 }
 

@@ -1,36 +1,143 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
 )
 
-// event is a scheduled callback. Events at the same virtual time fire in
-// insertion (seq) order, which keeps the simulation deterministic.
+// event is one scheduled action: either a typed "resume proc" record (proc
+// non-nil) or an arbitrary callback fn. The typed variant exists so the
+// hottest operations in the simulator — Spawn, wake and Advance, which all
+// just resume a Proc — schedule a value with no closure allocation. Events
+// at the same virtual time fire in insertion (seq) order, which keeps the
+// simulation deterministic.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	proc *Proc
+	fn   func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventBefore reports queue priority: earlier time first, then earlier seq.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
+
+// eventHeap is a value-type 4-ary min-heap ordered by (at, seq). Storing
+// event values instead of *event removes the per-event allocation and the
+// pointer chase on every comparison, and the 4-ary layout halves the number
+// of levels touched per sift relative to a binary heap. Vacated slots are
+// zeroed so dead closures and Procs are not retained by the backing array.
+type eventHeap struct {
+	a []event
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+func (h *eventHeap) push(ev event) {
+	h.a = append(h.a, event{})
+	a := h.a
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventBefore(&ev, &a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		i = parent
+	}
+	a[i] = ev
+}
+
+func (h *eventHeap) pop() event {
+	a := h.a
+	root := a[0]
+	n := len(a) - 1
+	last := a[n]
+	a[n] = event{}
+	h.a = a[:n]
+	if n > 0 {
+		h.siftDown(last)
+	}
+	return root
+}
+
+// siftDown places ev, logically occupying the vacated root, into its final
+// position, moving smaller children up along the way.
+func (h *eventHeap) siftDown(ev event) {
+	a := h.a
+	n := len(a)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventBefore(&a[c], &a[best]) {
+				best = c
+			}
+		}
+		if !eventBefore(&a[best], &ev) {
+			break
+		}
+		a[i] = a[best]
+		i = best
+	}
+	a[i] = ev
+}
+
+// eventRing is a FIFO servicing the dominant scheduling pattern: events for
+// the current instant (After(0) — every Proc step, wake and yield). Such
+// events bypass the heap entirely. The ring's correctness rests on one
+// invariant: every entry has at == now, because entries are only pushed
+// when t == now and the clock only advances when the ring is empty (while
+// it is non-empty the next event is at now, so popping never moves the
+// clock). Seqs within the ring are strictly increasing, so FIFO order is
+// exactly (at, seq) order. Popped slots are zeroed to release references.
+type eventRing struct {
+	buf  []event // power-of-two sized circular buffer
+	head int
+	n    int
+}
+
+func (r *eventRing) push(ev event) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = ev
+	r.n++
+}
+
+func (r *eventRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]event, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+func (r *eventRing) peek() *event { return &r.buf[r.head] }
+
+func (r *eventRing) pop() event {
+	ev := r.buf[r.head]
+	r.buf[r.head] = event{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return ev
 }
 
 // Scheduler owns the virtual clock and the event queue, and drives every
@@ -40,7 +147,8 @@ func (h *eventHeap) Pop() (popped any) {
 type Scheduler struct {
 	now      Time
 	seq      uint64
-	events   eventHeap
+	heap     eventHeap
+	ring     eventRing
 	procs    []*Proc
 	rng      *RNG
 	stopped  bool
@@ -85,18 +193,57 @@ func (s *Scheduler) Now() Time { return s.now }
 // RNG returns the scheduler's deterministic random source.
 func (s *Scheduler) RNG() *RNG { return s.rng }
 
-// At schedules fn to run at virtual time t. Scheduling in the past panics:
-// that is always a bug in a simulation model.
-func (s *Scheduler) At(t Time, fn func()) {
+// schedule enqueues one event. Same-instant events go to the FIFO ring;
+// future events go to the heap. Scheduling in the past panics: that is
+// always a bug in a simulation model.
+func (s *Scheduler) schedule(t Time, p *Proc, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("des: event scheduled at %v, before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	ev := event{at: t, seq: s.seq, proc: p, fn: fn}
+	if t == s.now {
+		s.ring.push(ev)
+	} else {
+		s.heap.push(ev)
+	}
 }
 
+// At schedules fn to run at virtual time t.
+func (s *Scheduler) At(t Time, fn func()) { s.schedule(t, nil, fn) }
+
 // After schedules fn to run d after the current virtual time.
-func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
+func (s *Scheduler) After(d Time, fn func()) { s.schedule(s.now+d, nil, fn) }
+
+// resumeAfter schedules the typed, allocation-free event that resumes p at
+// d after the current virtual time.
+func (s *Scheduler) resumeAfter(d Time, p *Proc) { s.schedule(s.now+d, p, nil) }
+
+// pending reports the number of queued events across ring and heap.
+func (s *Scheduler) pending() int { return s.ring.n + s.heap.len() }
+
+// nextAt reports the virtual time of the next event; pending() must be > 0.
+// A non-empty ring always holds events at now, which no heap entry beats.
+func (s *Scheduler) nextAt() Time {
+	if s.ring.n > 0 {
+		return s.now
+	}
+	return s.heap.a[0].at
+}
+
+// popNext removes and returns the globally next event by (at, seq). The
+// ring wins unless the heap root sorts strictly earlier: a heap event at
+// the same time was necessarily scheduled at an earlier instant, so it
+// carries a smaller seq and must fire before anything in the ring.
+func (s *Scheduler) popNext() event {
+	if s.ring.n == 0 {
+		return s.heap.pop()
+	}
+	if s.heap.len() > 0 && eventBefore(&s.heap.a[0], s.ring.peek()) {
+		return s.heap.pop()
+	}
+	return s.ring.pop()
+}
 
 // Stop makes Run return after the current event completes. Parked Procs are
 // aborted so their goroutines exit.
@@ -140,14 +287,18 @@ func (e *DeadlockError) Error() string {
 // otherwise. A panic raised inside a Proc is re-raised here as a typed
 // *ProcPanicError carrying the original panic value and stack.
 func (s *Scheduler) Run() error {
-	for len(s.events) > 0 && !s.stopped {
+	for s.pending() > 0 && !s.stopped {
 		if s.exhausted() {
 			return s.livelocked()
 		}
-		ev := heap.Pop(&s.events).(*event)
+		ev := s.popNext()
 		s.now = ev.at
 		s.executed++
-		ev.fn()
+		if ev.proc != nil {
+			s.step(ev.proc)
+		} else {
+			ev.fn()
+		}
 		if s.fatal != nil {
 			f := s.fatal
 			s.abortAll()

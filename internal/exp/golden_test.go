@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_figures.txt from this run")
+
+// goldenMaxCPUs truncates the CPU sweeps so the golden pass stays fast
+// while still covering every figure, series and app. The hashes in
+// testdata/golden_figures.txt are only valid for this truncation.
+const goldenMaxCPUs = 8
+
+// renderFigureBytes renders one figure the way cmd/experiments does (text
+// table plus CSV) and returns the exact bytes.
+func renderFigureBytes(t *testing.T, fig *Figure) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatalf("render %s: %v", fig.ID, err)
+	}
+	if err := fig.CSV(&buf); err != nil {
+		t.Fatalf("csv %s: %v", fig.ID, err)
+	}
+	return buf.Bytes()
+}
+
+// figureHashes runs every figure at the given parallelism and returns
+// id -> sha256 of the rendered bytes, in FigureIDs order.
+func figureHashes(t *testing.T, parallelism int) map[string]string {
+	t.Helper()
+	r := NewRunner(Options{MaxCPUs: goldenMaxCPUs, Parallelism: parallelism})
+	figs, err := r.Figures(FigureIDs()...)
+	if err != nil {
+		t.Fatalf("figures (parallelism %d): %v", parallelism, err)
+	}
+	hashes := make(map[string]string, len(figs))
+	for _, fig := range figs {
+		hashes[fig.ID] = fmt.Sprintf("%x", sha256.Sum256(renderFigureBytes(t, fig)))
+	}
+	return hashes
+}
+
+// TestGoldenFigureBytes is the determinism gate for simulator-performance
+// work: the rendered bytes of every figure must be byte-identical to the
+// committed goldens, and identical at parallelism 1 and 8. Any hot-path
+// change that alters event ordering, RNG draws or float arithmetic shows
+// up here as a hash mismatch.
+func TestGoldenFigureBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden figure sweep skipped in -short mode")
+	}
+	seq := figureHashes(t, 1)
+	par := figureHashes(t, 8)
+	for _, id := range FigureIDs() {
+		if seq[id] != par[id] {
+			t.Errorf("%s: parallelism changed the bytes: par1 %s != par8 %s", id, seq[id], par[id])
+		}
+	}
+
+	path := filepath.Join("testdata", "golden_figures.txt")
+	if *updateGolden {
+		var b strings.Builder
+		b.WriteString("# sha256 of Render+CSV bytes per figure, MaxCPUs=8, DefaultSeed.\n")
+		b.WriteString("# Regenerate: go test ./internal/exp/ -run TestGoldenFigureBytes -update\n")
+		for _, id := range FigureIDs() {
+			fmt.Fprintf(&b, "%s %s\n", id, seq[id])
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read goldens (run with -update to create): %v", err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad golden line %q", line)
+		}
+		want[fields[0]] = fields[1]
+	}
+	for _, id := range FigureIDs() {
+		if want[id] == "" {
+			t.Errorf("%s: no committed golden (run with -update)", id)
+			continue
+		}
+		if seq[id] != want[id] {
+			t.Errorf("%s: rendered bytes changed: got %s want %s", id, seq[id], want[id])
+		}
+	}
+}

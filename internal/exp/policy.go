@@ -148,6 +148,11 @@ func runDynamic(mach *machine.Config, app *guide.App, cpus int, args map[string]
 	script := "insert-file subset.list\nstart\nquit\n"
 	var ss *core.Session
 	var sessErr error
+	defer func() {
+		if ss != nil && ss.Job() != nil {
+			ss.Job().Collector().Release()
+		}
+	}()
 	s.Spawn("dynprof", func(p *des.Proc) {
 		ss, sessErr = core.NewSession(p, core.Config{
 			Machine:   mach,

@@ -153,6 +153,9 @@ func runSpecCell(spec RunSpec, bud des.Budget) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	// The cell's trace collector dies with the cell: recycle its arena for
+	// the next cell in the sweep.
+	defer j.Collector().Release()
 	if err := runScheduler(s); err != nil {
 		return res, err
 	}
@@ -272,6 +275,7 @@ func runConfSyncCell(spec ConfSyncSpec, bud des.Budget) (ConfSyncResult, error) 
 	if err != nil {
 		return res, err
 	}
+	defer j.Collector().Release()
 	if err := runScheduler(s); err != nil {
 		return res, err
 	}
@@ -354,6 +358,11 @@ func runHybridCell(spec HybridSpec, bud des.Budget) (HybridResult, error) {
 	s := des.NewScheduler(spec.Seed, des.WithBudget(bud))
 	var ss *core.Session
 	var sessErr error
+	defer func() {
+		if ss != nil && ss.Job() != nil {
+			ss.Job().Collector().Release()
+		}
+	}()
 	s.Spawn("dynprof", func(p *des.Proc) {
 		ss, sessErr = core.NewSession(p, core.Config{
 			Machine:   spec.Machine,

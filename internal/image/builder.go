@@ -102,5 +102,6 @@ func (b *Builder) Build() *Image {
 		snippetNames:  make(map[int64]string),
 		nextSnippetID: b.nextSnippetID,
 		tramps:        make(map[Addr]*baseTramp),
+		progs:         make(map[Addr]*regionProg),
 	}
 }

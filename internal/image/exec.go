@@ -10,13 +10,35 @@ import (
 // created a jump cycle, which should fail loudly.
 const maxSteps = 100_000
 
+// progStep is one snippet call inside a compiled region program.
+type progStep struct {
+	fn Snippet
+	// resume is the address interpretation continues from if the snippet
+	// mutates the image (dynamic patching mid-walk).
+	resume Addr
+	// prefix is the word cycles accumulated through the SnippetCall word,
+	// i.e. the partial sum owed if the replay falls back at this step.
+	prefix int64
+}
+
+// regionProg is the compiled form of one probe-region walk: the snippets
+// that fire, in order, plus the total word cycles the region charges.
+// Replaying it is observably identical to interpreting the words — same
+// snippet order, same returned cycle total — as long as the image has not
+// been patched since compilation, which the generation stamp guards.
+type regionProg struct {
+	gen   uint64
+	steps []progStep
+	total int64
+}
+
 // ExecEntry interprets a function's entry region — the entry probe slot
 // (possibly displaced into a trampoline chain) and any statically inserted
 // prologue snippet calls — up to the Body marker. It returns the cycles
 // consumed by the instruction words; snippets charge their own additional
 // cost through ctx.
 func (img *Image) ExecEntry(sym *Symbol, ctx ExecCtx) int64 {
-	return img.walk(sym.Entry, ctx, sym.Name)
+	return img.exec(sym.Entry, ctx, sym.Name)
 }
 
 // ExecExit interprets a function's exit region — the exit probe slot and
@@ -25,11 +47,72 @@ func (img *Image) ExecExit(sym *Symbol, exitIndex int, ctx ExecCtx) int64 {
 	if exitIndex < 0 || exitIndex >= len(sym.Exits) {
 		panic(fmt.Sprintf("image %s: %s has no exit %d", img.name, sym.Name, exitIndex))
 	}
-	return img.walk(sym.Exits[exitIndex], ctx, sym.Name)
+	return img.exec(sym.Exits[exitIndex], ctx, sym.Name)
 }
 
-// walk interprets words starting at addr until a Body or Ret terminator.
-func (img *Image) walk(at Addr, ctx ExecCtx, fname string) int64 {
+// exec runs the region starting at `at`, replaying its cached program when
+// one is current and compiling one otherwise. A snippet that patches the
+// image mid-replay (a dynamic-control safe point can suspend the thread
+// while probes are installed) invalidates the program's generation; the
+// remainder of the region is then interpreted from the snippet's resume
+// address, exactly as the plain interpreter would continue.
+func (img *Image) exec(at Addr, ctx ExecCtx, fname string) int64 {
+	p, ok := img.progs[at]
+	if !ok || p.gen != img.gen {
+		return img.compile(at, ctx, fname)
+	}
+	for i := range p.steps {
+		st := &p.steps[i]
+		st.fn(ctx)
+		if img.gen != p.gen {
+			return st.prefix + img.interp(st.resume, ctx, fname)
+		}
+	}
+	return p.total
+}
+
+// compile interprets the region once while recording its program. If a
+// snippet mutates the image mid-walk the recording is abandoned and the
+// rest of the region is interpreted directly.
+func (img *Image) compile(at Addr, ctx ExecCtx, fname string) int64 {
+	start := at
+	p := &regionProg{gen: img.gen}
+	var cycles int64
+	for step := 0; ; step++ {
+		if step >= maxSteps {
+			panic(fmt.Sprintf("image %s: runaway execution in %s at %d (jump cycle from bad patch?)", img.name, fname, at))
+		}
+		w := img.Word(at)
+		cycles += w.Cost()
+		switch w.Op {
+		case isa.Body, isa.Ret:
+			p.total = cycles
+			img.progs[start] = p
+			return cycles
+		case isa.Jmp:
+			at = Addr(w.Arg)
+		case isa.SnippetCall:
+			fn, ok := img.snippets[w.Arg]
+			if !ok {
+				panic(fmt.Sprintf("image %s: unbound snippet %d in %s", img.name, w.Arg, fname))
+			}
+			p.steps = append(p.steps, progStep{fn: fn, resume: at + 1, prefix: cycles})
+			fn(ctx)
+			if img.gen != p.gen {
+				return cycles + img.interp(at+1, ctx, fname)
+			}
+			at++
+		case isa.Illegal:
+			panic(fmt.Sprintf("image %s: illegal instruction at %d in %s (freed trampoline executed?)", img.name, at, fname))
+		default:
+			at++
+		}
+	}
+}
+
+// interp interprets words starting at addr until a Body or Ret terminator,
+// recording nothing: the fallback path after a mid-region patch.
+func (img *Image) interp(at Addr, ctx ExecCtx, fname string) int64 {
 	var cycles int64
 	for step := 0; ; step++ {
 		if step >= maxSteps {

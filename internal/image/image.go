@@ -89,7 +89,18 @@ type Image struct {
 	// heapWords counts words of dynamically generated code currently
 	// allocated (for trace/size accounting and tests).
 	heapWords int
+
+	// gen counts image mutations (patches, snippet rebinds); progs caches
+	// the compiled form of each executed probe region, valid only while its
+	// recorded generation matches gen.
+	gen   uint64
+	progs map[Addr]*regionProg
 }
+
+// mutated invalidates every compiled region program. Called on any change
+// that could alter what an interpreter walk observes: word writes and
+// snippet (re)binding.
+func (img *Image) mutated() { img.gen++ }
 
 // baseTramp is the bookkeeping for one patched probe point: the base
 // trampoline plus its chain of mini-trampolines.
@@ -174,6 +185,7 @@ func (img *Image) BindSnippet(id int64, name string, fn Snippet) {
 	}
 	img.snippets[id] = fn
 	img.snippetNames[id] = name
+	img.mutated()
 }
 
 // Snippet returns the snippet bound to id.
@@ -201,6 +213,7 @@ func (img *Image) Clone() *Image {
 		nextSnippetID: img.nextSnippetID,
 		tramps:        make(map[Addr]*baseTramp, len(img.tramps)),
 		heapWords:     img.heapWords,
+		progs:         make(map[Addr]*regionProg),
 	}
 	for id, fn := range img.snippets {
 		c.snippets[id] = fn
@@ -287,6 +300,7 @@ func (img *Image) InsertProbe(sym *Symbol, kind PointKind, exitIndex int, snippe
 	img.words[m.at] = isa.Word{Op: isa.Nop} // inactive until SetActive(true)
 	t.minis = append(t.minis, m)
 	img.relinkChain(t)
+	img.mutated()
 	return &ProbeHandle{img: img, at: at, mini: m, sym: sym, kind: kind}, nil
 }
 
@@ -338,6 +352,7 @@ func (h *ProbeHandle) SetActive(active bool) {
 	} else {
 		h.img.words[h.mini.at] = isa.Word{Op: isa.Nop}
 	}
+	h.img.mutated()
 }
 
 // Remove unlinks the probe's mini-trampoline from its chain. When the last
@@ -361,6 +376,7 @@ func (h *ProbeHandle) Remove() error {
 	}
 	t.minis = append(t.minis[:idx], t.minis[idx+1:]...)
 	h.img.freeWords(h.mini.at, miniWords)
+	h.img.mutated()
 	if len(t.minis) == 0 {
 		h.img.words[t.at] = t.relocated
 		h.img.freeWords(t.base, baseWords)

@@ -1,0 +1,82 @@
+package vt
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"dynprof/internal/des"
+)
+
+// mkBatch builds one rank's flush batch: times non-decreasing, as produced
+// by a real per-thread buffer.
+func mkBatch(rank int32, start des.Time, n int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = Event{
+			At: start + des.Time(i), Rank: rank, TID: 0,
+			Kind: Kind(i % 2), ID: int32(i % 7),
+		}
+	}
+	return evs
+}
+
+// BenchmarkCollectorAppend measures merging flush batches into the
+// collector (the per-rank hot path at every mid-run flush and at
+// termination).
+func BenchmarkCollectorAppend(b *testing.B) {
+	b.ReportAllocs()
+	batch := mkBatch(0, 0, 256)
+	b.ResetTimer()
+	col := NewCollector()
+	for i := 0; i < b.N; i++ {
+		if col.Len() > 1<<20 {
+			// Bound collector growth so the benchmark measures Append,
+			// not unbounded memory pressure.
+			b.StopTimer()
+			col = NewCollector()
+			b.StartTimer()
+		}
+		col.Append(batch)
+	}
+}
+
+// BenchmarkCollectorEvents measures the merged-view cost: ranks flush
+// per-rank buffers, then Events is called repeatedly (as the analysis,
+// trace-writer and render paths all do).
+func BenchmarkCollectorEvents(b *testing.B) {
+	for _, ranks := range []int{4, 32} {
+		b.Run(fmt.Sprintf("%dranks", ranks), func(b *testing.B) {
+			b.ReportAllocs()
+			col := NewCollector()
+			for r := 0; r < ranks; r++ {
+				for batch := 0; batch < 4; batch++ {
+					col.Append(mkBatch(int32(r), des.Time(batch*512), 512))
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				evs := col.Events()
+				if len(evs) != ranks*4*512 {
+					b.Fatalf("got %d events", len(evs))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCollectorWriteTrace measures the dump path end to end.
+func BenchmarkCollectorWriteTrace(b *testing.B) {
+	b.ReportAllocs()
+	col := NewCollector()
+	for r := 0; r < 8; r++ {
+		col.AddFuncTable(int32(r), map[int32]string{0: "main", 1: "solve"})
+		col.Append(mkBatch(int32(r), 0, 2048))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := col.WriteTrace(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

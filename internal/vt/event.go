@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"dynprof/internal/des"
 )
@@ -87,18 +88,55 @@ type Event struct {
 	B    int64 // kind-specific: byte count
 }
 
+// segRange is one contiguous run of the collector's store with
+// non-decreasing timestamps. Segments tile the store exactly: every stored
+// event belongs to one segment, in insertion order.
+type segRange struct{ start, end int }
+
 // Collector accumulates the trace of a whole run: per-rank function tables
 // and the merged event stream. All data collected at run time "is passed
 // through Vampirtrace and written to a trace file" at termination.
+//
+// Events are stored in one append-only arena in arrival order, partitioned
+// into time-sorted segments (per-thread flush batches arrive already
+// non-decreasing, so a whole batch is usually one segment). The merged,
+// time-ordered view is produced by a k-way merge over the segments and
+// cached until the next Append, so Events/Bytes/dump paths stop re-copying
+// and re-sorting the world on every call.
 type Collector struct {
-	funcs   map[int32]map[int32]string // rank -> id -> name
-	events  []Event
-	flushes int
+	funcs map[int32]map[int32]string // rank -> id -> name
+	store []Event                    // arena, insertion order; recycled via Release
+	segs  []segRange
+
+	merged  []Event // cached merged view; valid while mergedN == len(store)
+	mergedN int
 }
 
-// NewCollector returns an empty trace collector.
+// eventBufPool recycles collector arenas across simulation cells: a
+// Runner sweep builds and discards one Collector per cell, and reusing the
+// grown backing arrays removes that churn from the hot loop.
+var eventBufPool = sync.Pool{New: func() any { return new([]Event) }}
+
+// NewCollector returns an empty trace collector backed by a pooled arena.
 func NewCollector() *Collector {
-	return &Collector{funcs: make(map[int32]map[int32]string)}
+	buf := eventBufPool.Get().(*[]Event)
+	return &Collector{
+		funcs:   make(map[int32]map[int32]string),
+		store:   (*buf)[:0],
+		mergedN: -1,
+	}
+}
+
+// Release returns the collector's arena to the shared pool. The caller
+// declares that neither the collector nor any slice obtained from Events
+// will be used again.
+func (col *Collector) Release() {
+	if col.store != nil {
+		buf := col.store[:0]
+		eventBufPool.Put(&buf)
+	}
+	col.store, col.segs, col.merged = nil, nil, nil
+	col.mergedN = -1
 }
 
 // AddFuncTable registers rank's id-to-name function table.
@@ -113,25 +151,107 @@ func (col *Collector) AddFuncTable(rank int32, names map[int32]string) {
 	}
 }
 
-// Append merges a rank's event buffer into the trace.
+// Append merges a rank's event buffer into the trace. The batch is copied
+// into the arena and carved into non-decreasing-time segments; a batch that
+// continues the previous segment's timeline extends it in place.
 func (col *Collector) Append(events []Event) {
-	col.events = append(col.events, events...)
-	col.flushes++
+	if len(events) == 0 {
+		return
+	}
+	start := len(col.store)
+	col.store = append(col.store, events...)
+	for i := start; i < len(col.store); {
+		j := i + 1
+		for j < len(col.store) && col.store[j].At >= col.store[j-1].At {
+			j++
+		}
+		if n := len(col.segs); n > 0 && i > 0 && col.store[i].At >= col.store[i-1].At {
+			col.segs[n-1].end = j
+		} else {
+			col.segs = append(col.segs, segRange{start: i, end: j})
+		}
+		i = j
+	}
 }
 
 // Events returns the merged events sorted by timestamp (stable: ties keep
-// rank/tid/insertion order).
+// rank/tid/insertion order). The view is cached between Appends; callers
+// must treat it as read-only.
 func (col *Collector) Events() []Event {
-	out := append([]Event(nil), col.events...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
-	return out
+	if col.mergedN != len(col.store) {
+		col.rebuildMerged()
+	}
+	return col.merged
+}
+
+// rebuildMerged recomputes the cached time-ordered view. Each segment is
+// already sorted by (At, insertion index) — times non-decreasing, indices
+// strictly increasing — so a k-way merge keyed on (At, cursor index)
+// reproduces exactly the stable sort of the insertion-ordered stream.
+func (col *Collector) rebuildMerged() {
+	col.mergedN = len(col.store)
+	switch len(col.segs) {
+	case 0:
+		col.merged = nil
+		return
+	case 1:
+		// Single timeline: the arena itself is the merged view. The full
+		// slice expression stops callers from appending into the arena.
+		s := col.segs[0]
+		col.merged = col.store[s.start:s.end:s.end]
+		return
+	}
+	cur := make([]int, len(col.segs))
+	heap := make([]int, 0, len(col.segs))
+	less := func(a, b int) bool {
+		ea, eb := &col.store[cur[a]], &col.store[cur[b]]
+		if ea.At != eb.At {
+			return ea.At < eb.At
+		}
+		return cur[a] < cur[b]
+	}
+	siftDown := func(i int) {
+		for {
+			c := 2*i + 1
+			if c >= len(heap) {
+				return
+			}
+			if c+1 < len(heap) && less(heap[c+1], heap[c]) {
+				c++
+			}
+			if !less(heap[c], heap[i]) {
+				return
+			}
+			heap[i], heap[c] = heap[c], heap[i]
+			i = c
+		}
+	}
+	for si, s := range col.segs {
+		cur[si] = s.start
+		heap = append(heap, si)
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	out := make([]Event, 0, len(col.store))
+	for len(heap) > 0 {
+		si := heap[0]
+		out = append(out, col.store[cur[si]])
+		cur[si]++
+		if cur[si] == col.segs[si].end {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(0)
+	}
+	col.merged = out
 }
 
 // Len reports the number of collected events.
-func (col *Collector) Len() int { return len(col.events) }
+func (col *Collector) Len() int { return len(col.store) }
 
 // Bytes reports the trace's size under the fixed per-event record size.
-func (col *Collector) Bytes() int { return len(col.events) * EventBytes }
+func (col *Collector) Bytes() int { return len(col.store) * EventBytes }
 
 // FuncName resolves a function id in rank's table.
 func (col *Collector) FuncName(rank, id int32) string {
@@ -186,6 +306,7 @@ func (col *Collector) WriteTrace(w io.Writer) error {
 // ReadTrace parses a trace produced by WriteTrace.
 func ReadTrace(r io.Reader) (*Collector, error) {
 	col := NewCollector()
+	var evs []Event
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0
@@ -223,7 +344,7 @@ func ReadTrace(r io.Reader) (*Collector, error) {
 			if !ok {
 				return nil, fmt.Errorf("vt: trace line %d: unknown kind %q", line, fields[4])
 			}
-			col.events = append(col.events, Event{
+			evs = append(evs, Event{
 				At: des.Time(nums[0]), Rank: int32(nums[1]), TID: int32(nums[2]),
 				Kind: kind, ID: int32(nums[3]), A: nums[4], B: nums[5],
 			})
@@ -231,5 +352,6 @@ func ReadTrace(r io.Reader) (*Collector, error) {
 			return nil, fmt.Errorf("vt: trace line %d: unknown record %q", line, fields[0])
 		}
 	}
+	col.Append(evs)
 	return col, sc.Err()
 }

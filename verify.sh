@@ -22,6 +22,11 @@ go test -race ./internal/fault/ ./internal/dpcl/
 # fault class enabled must terminate via timeout degradation.
 go test -run TestFaultSmoke ./internal/exp/
 
+# Benchmark smoke: one iteration of the regression benchmarks, so a
+# benchmark that no longer compiles or panics fails the gate here rather
+# than in the next perf investigation.
+scripts/bench.sh -s
+
 # Kill-and-resume smoke: SIGKILL a journaled sweep mid-run, resume it,
 # and require byte-identical output vs. an uninterrupted run. The kill is
 # timing-dependent but the assertion is not: even if the first run
