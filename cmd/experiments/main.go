@@ -11,6 +11,7 @@
 //	experiments -fig7a -csv       # CSV output
 //	experiments -fig7a -max-cpus 8  # truncate the CPU sweep
 //	experiments -all -jsonl cells.jsonl -progress  # observable run
+//	experiments -scale -shards 8 -spill-dir spill -scale-stats  # 1k-16k rank sweep on the sharded DES
 //
 // Sweeps are supervised: a cell that panics, livelocks past the -max-events/
 // -max-virtual DES budget, or exceeds -cell-timeout of host time is retried
@@ -35,6 +36,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"syscall"
 	"time"
 
 	"dynprof/internal/des"
@@ -64,12 +66,18 @@ func run() error {
 		fig9     = flag.Bool("fig9", false, "Figure 9: time to create and instrument")
 		hybrid   = flag.Bool("hybrid", false, "Section 5.1 hybrid: dynamically inserted confsync points")
 		faults   = flag.Bool("faults", false, "fault-injection sweep: run and confsync cost vs fault intensity")
+		scale    = flag.Bool("scale", false, "scale sweep: instrumented kernels at 1k/4k/16k ranks on the sharded DES")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		maxCPUs  = flag.Int("max-cpus", 0, "truncate CPU sweeps (0 = the paper's full range)")
 		seed     = flag.Uint64("seed", exp.DefaultSeed, "simulation seed")
 		parallel = flag.Int("parallel", 0, "worker pool size for experiment cells (0 = GOMAXPROCS)")
 		jsonl    = flag.String("jsonl", "", "write one JSON line per figure cell to this file")
 		progress = flag.Bool("progress", false, "report cell progress and run metrics on stderr")
+
+		shards         = flag.Int("shards", 0, "DES shard count for -scale cells (0 = "+fmt.Sprint(exp.DefaultScaleShards)+"); results are fixed per shard count")
+		spillDir       = flag.String("spill-dir", "", "stream -scale trace arenas to spill files under DIR, bounding resident memory")
+		spillThreshold = flag.Int("spill-threshold", 0, "per-shard resident events before a spill (0 = "+fmt.Sprint(exp.DefaultSpillThreshold)+")")
+		scaleStats     = flag.Bool("scale-stats", false, "report events/sec and peak RSS of the sweep on stderr")
 
 		cacheDir    = flag.String("cache-dir", "", "journal finished cells to DIR/"+exp.StoreJournalName+" (crash-safe, fsynced)")
 		resume      = flag.Bool("resume", false, "serve finished cells from the -cache-dir journal instead of re-executing them")
@@ -119,13 +127,16 @@ func run() error {
 	}
 
 	opts := exp.Options{
-		Seed:        *seed,
-		SeedSet:     true,
-		MaxCPUs:     *maxCPUs,
-		Parallelism: *parallel,
-		CellTimeout: *cellTimeout,
-		MaxAttempts: *maxAttempts,
-		Budget:      des.Budget{MaxEvents: *maxEvents, MaxVirtual: des.Time(*maxVirtual / time.Nanosecond)},
+		Seed:           *seed,
+		SeedSet:        true,
+		MaxCPUs:        *maxCPUs,
+		Parallelism:    *parallel,
+		CellTimeout:    *cellTimeout,
+		MaxAttempts:    *maxAttempts,
+		Budget:         des.Budget{MaxEvents: *maxEvents, MaxVirtual: des.Time(*maxVirtual / time.Nanosecond)},
+		Shards:         *shards,
+		SpillDir:       *spillDir,
+		SpillThreshold: *spillThreshold,
 	}
 	if *resume && *cacheDir == "" {
 		return fmt.Errorf("-resume requires -cache-dir")
@@ -164,6 +175,18 @@ func run() error {
 		defer jw.Flush()
 		enc := json.NewEncoder(jw)
 		opts.OnCell = func(ev exp.CellEvent) { _ = enc.Encode(ev) }
+	}
+	var totalEvents uint64
+	if *scaleStats {
+		// Cell events are emitted serially during deterministic assembly,
+		// so the chained accumulator needs no locking.
+		prev := opts.OnCell
+		opts.OnCell = func(ev exp.CellEvent) {
+			totalEvents += ev.Events
+			if prev != nil {
+				prev(ev)
+			}
+		}
 	}
 	runner := exp.NewRunner(opts)
 
@@ -212,6 +235,7 @@ func run() error {
 		{*all || *fig9, "fig9"},
 		{*hybrid, "hybrid"},
 		{*faults, "faults"},
+		{*scale, "scale"},
 	} {
 		if f.on {
 			ids = append(ids, f.id)
@@ -258,8 +282,27 @@ func run() error {
 				m.Wall.Round(1e6), m.Busy.Round(1e6), m.Virtual.Seconds(), 100*m.Utilization())
 		}
 	}
+	if *scaleStats {
+		m := runner.Metrics()
+		eps := 0.0
+		if m.Wall > 0 {
+			eps = float64(totalEvents) / m.Wall.Seconds()
+		}
+		fmt.Fprintf(os.Stderr, "scale-stats: events=%d wall=%s events_per_sec=%.0f peak_rss_kb=%d\n",
+			totalEvents, m.Wall.Round(time.Millisecond), eps, peakRSSKB())
+	}
 	if !any {
 		flag.Usage()
 	}
 	return nil
+}
+
+// peakRSSKB reports the process's peak resident set size in KiB (0 if the
+// platform does not expose it).
+func peakRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return int64(ru.Maxrss)
 }

@@ -43,7 +43,7 @@ func TestVCyclesBeatPlainSmoothing(t *testing.T) {
 			t.Fatal(err)
 		}
 		s := des.NewScheduler(61)
-		if _, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: 2}); err != nil {
+		if _, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: 2}); err != nil {
 			t.Fatal(err)
 		}
 		if err := s.Run(); err != nil {

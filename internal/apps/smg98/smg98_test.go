@@ -42,7 +42,7 @@ func run(t *testing.T, opts guide.BuildOpts, procs int, args map[string]int) *gu
 		t.Fatal(err)
 	}
 	s := des.NewScheduler(31)
-	j, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: procs, Args: args})
+	j, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: procs, Args: args})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestMultigridReducesResidual(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = bin
-	j, err := guide.Launch(s, machine.IBMPower3Cluster(), bin2, guide.LaunchOpts{Procs: 2})
+	j, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin2, guide.LaunchOpts{Procs: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

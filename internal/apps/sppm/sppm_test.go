@@ -38,7 +38,7 @@ func run(t *testing.T, opts guide.BuildOpts, procs int, args map[string]int) *gu
 		t.Fatal(err)
 	}
 	s := des.NewScheduler(37)
-	j, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: procs, Args: args})
+	j, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: procs, Args: args})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestHydroConservesMass(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := des.NewScheduler(37)
-	if _, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: 2}); err != nil {
+	if _, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Run(); err != nil {
@@ -139,7 +139,7 @@ func TestShockSpreadsAcrossRanks(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := des.NewScheduler(37)
-	if _, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: 4}); err != nil {
+	if _, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: 4}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Run(); err != nil {

@@ -29,7 +29,7 @@ func run(t *testing.T, opts guide.BuildOpts, procs int, args map[string]int) *gu
 		t.Fatal(err)
 	}
 	s := des.NewScheduler(41)
-	j, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: procs, Args: args})
+	j, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: procs, Args: args})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestSingleRankRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := des.NewScheduler(41)
-	if _, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: 1, Args: tinyArgs}); err != nil {
+	if _, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: 1, Args: tinyArgs}); err != nil {
 		t.Fatal(err)
 	}
 	defer func() {
@@ -119,7 +119,7 @@ func TestTransportProducesPositiveConvergingFlux(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := des.NewScheduler(41)
-	if _, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: 2}); err != nil {
+	if _, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Run(); err != nil {

@@ -41,7 +41,7 @@ func run(t *testing.T, opts guide.BuildOpts, threads int, args map[string]int) *
 		t.Fatal(err)
 	}
 	s := des.NewScheduler(47)
-	j, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: threads, Args: args})
+	j, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: threads, Args: args})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestRunsOnOneToEightThreads(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := des.NewScheduler(47)
-	if _, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: 9}); err == nil {
+	if _, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: 9}); err == nil {
 		t.Fatal("9 OpenMP threads should exceed the node")
 	}
 }
@@ -112,7 +112,7 @@ func TestThreadsProduceSameFluxAsSerial(t *testing.T) {
 			t.Fatal(err)
 		}
 		s := des.NewScheduler(47)
-		if _, err := guide.Launch(s, machine.IBMPower3Cluster(), bin,
+		if _, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin,
 			guide.LaunchOpts{Procs: threads, Args: tinyArgs}); err != nil {
 			t.Fatal(err)
 		}

@@ -66,7 +66,7 @@ func runSession(t *testing.T, app *guide.App, procs int, script string, files ma
 	s.Spawn("dynprof", func(p *des.Proc) {
 		var err error
 		ss, err = NewSession(p, Config{
-			Machine: machine.IBMPower3Cluster(),
+			Machine: machine.MustNew("ibm-power3"),
 			App:     app,
 			Procs:   procs,
 			Files:   files,
@@ -112,7 +112,7 @@ func TestTable1Commands(t *testing.T) {
 	s := des.NewScheduler(17)
 	s.Spawn("dynprof", func(p *des.Proc) {
 		ss, err := NewSession(p, Config{
-			Machine: machine.IBMPower3Cluster(),
+			Machine: machine.MustNew("ibm-power3"),
 			App:     toyMPI(),
 			Procs:   2,
 			Output:  &out,
@@ -227,7 +227,7 @@ func TestInsertFileMissing(t *testing.T) {
 	s := des.NewScheduler(17)
 	s.Spawn("dynprof", func(p *des.Proc) {
 		ss, err := NewSession(p, Config{
-			Machine: machine.IBMPower3Cluster(), App: toyMPI(), Procs: 2, Output: &out,
+			Machine: machine.MustNew("ibm-power3"), App: toyMPI(), Procs: 2, Output: &out,
 		})
 		if err != nil {
 			t.Error(err)
@@ -286,7 +286,7 @@ func TestUnknownFunctionInsert(t *testing.T) {
 	s := des.NewScheduler(17)
 	s.Spawn("dynprof", func(p *des.Proc) {
 		ss, err := NewSession(p, Config{
-			Machine: machine.IBMPower3Cluster(), App: toyMPI(), Procs: 2, Output: &out,
+			Machine: machine.MustNew("ibm-power3"), App: toyMPI(), Procs: 2, Output: &out,
 		})
 		if err != nil {
 			t.Error(err)
@@ -371,7 +371,7 @@ func TestControlMonitorAppliesChanges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{
+	job, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{
 		Procs: 2,
 		Hold:  true, // release only once the monitor's breakpoint is armed
 		Args:  map[string]int{"iters": 5, "confsync": 1},
@@ -379,7 +379,7 @@ func TestControlMonitorAppliesChanges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys := dpcl.NewSystem(s, machine.IBMPower3Cluster())
+	sys := dpcl.NewSystem(s, machine.MustNew("ibm-power3"))
 	var monitor *ControlMonitor
 	s.Spawn("monitor", func(p *des.Proc) {
 		monitor = NewControlMonitor(p, sys, job)
@@ -417,7 +417,7 @@ func TestHybridConfSyncInsertion(t *testing.T) {
 	s.Spawn("dynprof", func(p *des.Proc) {
 		var err error
 		ss, err = NewSession(p, Config{
-			Machine: machine.IBMPower3Cluster(),
+			Machine: machine.MustNew("ibm-power3"),
 			App:     toyMPI(),
 			Procs:   2,
 			Args:    map[string]int{"iters": 2000},

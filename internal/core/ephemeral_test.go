@@ -39,7 +39,7 @@ func TestSamplingFindsHotFunction(t *testing.T) {
 	var samples int64
 	s.Spawn("dynprof", func(p *des.Proc) {
 		ss, err := NewSession(p, Config{
-			Machine: machine.IBMPower3Cluster(),
+			Machine: machine.MustNew("ibm-power3"),
 			App:     skewedApp(),
 			Procs:   2,
 		})
@@ -71,7 +71,7 @@ func TestEphemeralProfileSnapshotsHotRegion(t *testing.T) {
 	s.Spawn("dynprof", func(p *des.Proc) {
 		var err error
 		ss, err = NewSession(p, Config{
-			Machine: machine.IBMPower3Cluster(),
+			Machine: machine.MustNew("ibm-power3"),
 			App:     skewedApp(),
 			Procs:   2,
 		})
@@ -139,7 +139,7 @@ func TestAttachToRunningJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{
+	job, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{
 		Procs: 2,
 		Args:  map[string]int{"iters": 6000},
 	})
@@ -151,7 +151,7 @@ func TestAttachToRunningJob(t *testing.T) {
 		// Let the target get well into its main computation first.
 		p.Advance(200 * des.Millisecond)
 		var err error
-		attached, err = AttachSession(p, machine.IBMPower3Cluster(), job, nil)
+		attached, err = AttachSession(p, machine.MustNew("ibm-power3"), job, nil)
 		if err != nil {
 			t.Error(err)
 			return
@@ -190,12 +190,12 @@ func TestAttachBeforeStartRefused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{Procs: 2, Hold: true})
+	job, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{Procs: 2, Hold: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.Spawn("tool", func(p *des.Proc) {
-		if _, err := AttachSession(p, machine.IBMPower3Cluster(), job, nil); err == nil {
+		if _, err := AttachSession(p, machine.MustNew("ibm-power3"), job, nil); err == nil {
 			t.Error("attach to a never-started job succeeded")
 		}
 		job.Release()
@@ -210,7 +210,7 @@ func TestEphemeralNeedsStartedTarget(t *testing.T) {
 	s := des.NewScheduler(17)
 	s.Spawn("dynprof", func(p *des.Proc) {
 		ss, err := NewSession(p, Config{
-			Machine: machine.IBMPower3Cluster(),
+			Machine: machine.MustNew("ibm-power3"),
 			App:     skewedApp(),
 			Procs:   2,
 			Args:    map[string]int{"iters": 5},

@@ -155,6 +155,12 @@ type Scheduler struct {
 	budget   Budget
 	executed uint64
 	fatal    *ProcPanicError
+
+	// Sharding state (see shard.go). All three are zero for a standalone
+	// Scheduler, whose behaviour is completely unchanged.
+	cluster *Cluster
+	shardID int
+	outbox  []castMsg
 }
 
 // ProcPanicError is the typed value Run panics with when a Proc panics: it

@@ -1,0 +1,313 @@
+package des
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// ringTrace runs a token-ring workload over shards shards with the given
+// host parallelism and returns the full delivery trace: every hop records
+// (destination shard, virtual arrival time, token value). The workload
+// exercises intra-shard scheduling, Advance, mailboxes and cross-shard
+// Casts together.
+func ringTrace(t *testing.T, shards, workers int, seed uint64) []string {
+	t.Helper()
+	const hops = 40
+	look := 10 * Microsecond
+	c := NewCluster(shards, look, seed, WithHostParallelism(workers))
+	var trace []string
+	boxes := make([]*Mailbox, shards)
+	for i := 0; i < shards; i++ {
+		boxes[i] = NewMailbox(c.Shard(i), fmt.Sprintf("ring%d", i))
+	}
+	for i := 0; i < shards; i++ {
+		i := i
+		s := c.Shard(i)
+		s.Spawn(fmt.Sprintf("node%d", i), func(p *Proc) {
+			if i == 0 {
+				boxes[0].Put(0)
+			}
+			for {
+				v := p.Recv(boxes[i]).(int)
+				trace = append(trace, fmt.Sprintf("%d@%v=%d", i, p.Now(), v))
+				if v >= hops {
+					return
+				}
+				p.Advance(Time(1+v%3) * Microsecond)
+				next := (i + 1) % shards
+				d := look + Time(v%5)*Microsecond
+				s.Cast(next, d, func() { boxes[next].Put(v + 1) })
+			}
+		})
+	}
+	// Every node but the one holding the final token blocks in Recv
+	// forever; mark them daemons so a clean drain is not a deadlock.
+	for i := 0; i < shards; i++ {
+		for _, p := range c.Shard(i).procs {
+			p.SetDaemon(true)
+		}
+	}
+	if err := c.Run(); err != nil {
+		t.Fatalf("ring run: %v", err)
+	}
+	return trace
+}
+
+func TestClusterDeterministicAcrossHostParallelism(t *testing.T) {
+	base := ringTrace(t, 4, 1, 7)
+	if len(base) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := ringTrace(t, 4, workers, 7)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d trace diverges:\n got %v\nwant %v", workers, got, base)
+		}
+	}
+}
+
+func TestClusterSeedAndShardCountMatter(t *testing.T) {
+	// Different seeds may legally produce the same RNG-free trace; the
+	// point here is that a trace is a pure function of (seed, shards).
+	a := ringTrace(t, 4, 4, 7)
+	b := ringTrace(t, 4, 4, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same (seed, shards) produced different traces")
+	}
+}
+
+// TestSingleShardMatchesSerial: a one-shard cluster must execute an
+// RNG-free workload identically to a plain Scheduler — same virtual
+// times, same interleaving.
+func TestSingleShardMatchesSerial(t *testing.T) {
+	workload := func(s *Scheduler) []string {
+		var trace []string
+		box := NewMailbox(s, "m")
+		s.Spawn("producer", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Advance(3 * Microsecond)
+				box.PutAfter(Microsecond, i)
+			}
+		})
+		s.Spawn("consumer", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				v := p.Recv(box)
+				trace = append(trace, fmt.Sprintf("%v=%v", p.Now(), v))
+			}
+		})
+		return trace
+	}
+
+	serial := NewScheduler(42)
+	serialTrace := workload(serial)
+	if err := serial.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCluster(1, 5*Microsecond, 42)
+	clusterTrace := workload(c.Shard(0))
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialTrace, clusterTrace) {
+		t.Errorf("single-shard cluster diverges from serial:\n serial  %v\n cluster %v", serialTrace, clusterTrace)
+	}
+}
+
+func TestCastBelowLookaheadPanics(t *testing.T) {
+	c := NewCluster(2, 10*Microsecond, 1)
+	c.Shard(0).Spawn("fast", func(p *Proc) {
+		p.Scheduler().Cast(1, Microsecond, func() {})
+	})
+	defer func() {
+		r := recover()
+		pe, ok := r.(*ProcPanicError)
+		if !ok {
+			t.Fatalf("want *ProcPanicError, got %v", r)
+		}
+		if !strings.Contains(fmt.Sprint(pe.Value), "below lookahead") {
+			t.Errorf("panic value %v lacks lookahead context", pe.Value)
+		}
+	}()
+	c.Run()
+	t.Fatal("no panic")
+}
+
+func TestCastOnUnshardedScheduler(t *testing.T) {
+	s := NewScheduler(1)
+	var at Time
+	s.Spawn("p", func(p *Proc) {
+		s.Cast(0, 3*Microsecond, func() { at = s.Now() })
+		p.Advance(10 * Microsecond)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 3*Microsecond {
+		t.Errorf("Cast on unsharded scheduler fired at %v, want 3us", at)
+	}
+	if s.ShardID() != 0 {
+		t.Errorf("unsharded ShardID = %d", s.ShardID())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Cast to shard 1 on unsharded scheduler must panic")
+		}
+	}()
+	s.Cast(1, Microsecond, func() {})
+}
+
+func TestClusterBudgetAggregates(t *testing.T) {
+	c := NewCluster(2, Microsecond, 3,
+		WithClusterBudget(Budget{MaxEvents: 100}), WithHostParallelism(2))
+	for i := 0; i < 2; i++ {
+		s := c.Shard(i)
+		s.Spawn(fmt.Sprintf("spin%d", i), func(p *Proc) {
+			for {
+				p.Advance(Microsecond)
+			}
+		})
+	}
+	err := c.Run()
+	le, ok := err.(*LivelockError)
+	if !ok {
+		t.Fatalf("want *LivelockError, got %v", err)
+	}
+	if le.Events < 100 {
+		t.Errorf("aggregate events %d below budget trip point", le.Events)
+	}
+	if len(le.Hot) == 0 {
+		t.Error("no hot procs in aggregate diagnosis")
+	}
+}
+
+func TestClusterVirtualBudget(t *testing.T) {
+	c := NewCluster(2, Microsecond, 3,
+		WithClusterBudget(Budget{MaxVirtual: 50 * Microsecond}))
+	for i := 0; i < 2; i++ {
+		s := c.Shard(i)
+		s.Spawn(fmt.Sprintf("spin%d", i), func(p *Proc) {
+			for {
+				p.Advance(Microsecond)
+			}
+		})
+	}
+	err := c.Run()
+	le, ok := err.(*LivelockError)
+	if !ok {
+		t.Fatalf("want *LivelockError, got %v", err)
+	}
+	if le.Virtual > 51*Microsecond {
+		t.Errorf("run overshot the virtual horizon: %v", le.Virtual)
+	}
+}
+
+func TestClusterDeadlock(t *testing.T) {
+	c := NewCluster(2, Microsecond, 3)
+	for i := 0; i < 2; i++ {
+		s := c.Shard(i)
+		box := NewMailbox(s, fmt.Sprintf("never%d", i))
+		s.Spawn(fmt.Sprintf("stuck%d", i), func(p *Proc) {
+			p.Recv(box)
+		})
+	}
+	err := c.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("want *DeadlockError, got %v", err)
+	}
+	if len(de.Blocked) != 2 {
+		t.Errorf("blocked = %v, want both stuck procs", de.Blocked)
+	}
+}
+
+func TestClusterProcPanicTearsDownAllShards(t *testing.T) {
+	c := NewCluster(3, Microsecond, 3, WithHostParallelism(3))
+	for i := 0; i < 3; i++ {
+		i := i
+		s := c.Shard(i)
+		s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			if i == 1 {
+				p.Advance(2 * Microsecond)
+				panic("boom")
+			}
+			for {
+				p.Advance(Microsecond)
+			}
+		})
+	}
+	defer func() {
+		r := recover()
+		pe, ok := r.(*ProcPanicError)
+		if !ok {
+			t.Fatalf("want *ProcPanicError, got %v", r)
+		}
+		if pe.Proc != "p1" || pe.Value != "boom" {
+			t.Errorf("wrong panic attribution: %+v", pe)
+		}
+	}()
+	c.Run()
+	t.Fatal("no panic")
+}
+
+func TestClusterStop(t *testing.T) {
+	c := NewCluster(2, Microsecond, 3)
+	stopAt := 5 * Microsecond
+	c.Shard(0).At(stopAt, func() { c.Shard(0).Stop() })
+	for i := 0; i < 2; i++ {
+		s := c.Shard(i)
+		s.Spawn(fmt.Sprintf("spin%d", i), func(p *Proc) {
+			for {
+				p.Advance(Microsecond)
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatalf("stopped run: %v", err)
+	}
+	if c.Shard(0).Now() > stopAt+Microsecond {
+		t.Errorf("shard 0 ran far past Stop: %v", c.Shard(0).Now())
+	}
+}
+
+func TestNewClusterValidates(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero shards":    func() { NewCluster(0, Microsecond, 1) },
+		"zero lookahead": func() { NewCluster(2, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// BenchmarkClusterRing measures windowed-round overhead relative to shard
+// count; run with -bench over internal/des to compare.
+func BenchmarkClusterRing(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				c := NewCluster(shards, 10*Microsecond, 7, WithHostParallelism(shards))
+				for i := 0; i < shards; i++ {
+					s := c.Shard(i)
+					s.Spawn("w", func(p *Proc) {
+						for k := 0; k < 200; k++ {
+							p.Advance(Microsecond)
+						}
+					})
+				}
+				if err := c.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

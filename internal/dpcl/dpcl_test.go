@@ -22,7 +22,7 @@ type rig struct {
 func newRig(t *testing.T, n int) *rig {
 	t.Helper()
 	s := des.NewScheduler(99)
-	mach := machine.IBMPower3Cluster()
+	mach := machine.MustNew("ibm-power3")
 	place, err := machine.Pack(mach, n)
 	if err != nil {
 		t.Fatal(err)
@@ -237,7 +237,7 @@ func TestCallbackDelivery(t *testing.T) {
 
 func TestBreakpointWatchSuspendsAndNotifies(t *testing.T) {
 	s := des.NewScheduler(5)
-	mach := machine.IBMPower3Cluster()
+	mach := machine.MustNew("ibm-power3")
 	b := image.NewBuilder("t")
 	if _, err := b.AddFunc(image.FuncSpec{Name: "f", BodyWords: 4, Exits: 1}); err != nil {
 		t.Fatal(err)

@@ -16,7 +16,7 @@ import (
 func faultRig(t *testing.T, n int, plan *fault.Plan) *rig {
 	t.Helper()
 	s := des.NewScheduler(99)
-	mach := machine.IBMPower3Cluster().WithFaultPlan(plan)
+	mach := machine.MustNew("ibm-power3").WithFaultPlan(plan)
 	place, err := machine.Pack(mach, n)
 	if err != nil {
 		t.Fatal(err)

@@ -14,8 +14,8 @@ import (
 // every spec key, and a zero plan leaves keys (and so the memo cache)
 // byte-identical to fault-free specs.
 func TestFaultKeysDistinguishCells(t *testing.T) {
-	faulted := machine.IBMPower3Cluster().WithFaultPlan(&fault.Plan{CtrlDelayFactor: 2})
-	zeroed := machine.IBMPower3Cluster().WithFaultPlan(&fault.Plan{})
+	faulted := machine.MustNew("ibm-power3").WithFaultPlan(&fault.Plan{CtrlDelayFactor: 2})
+	zeroed := machine.MustNew("ibm-power3").WithFaultPlan(&fault.Plan{})
 
 	run := RunSpec{App: "umt98", Policy: None, CPUs: 2, Seed: 1}
 	runF, runZ := run, run
@@ -47,7 +47,7 @@ func TestFaultKeysDistinguishCells(t *testing.T) {
 	}
 	// Distinct plans get distinct keys.
 	other := run
-	other.Machine = machine.IBMPower3Cluster().WithFaultPlan(&fault.Plan{CtrlDelayFactor: 3})
+	other.Machine = machine.MustNew("ibm-power3").WithFaultPlan(&fault.Plan{CtrlDelayFactor: 3})
 	if other.Key() == runF.Key() {
 		t.Error("different plans share a spec key")
 	}
@@ -107,7 +107,7 @@ func TestCrashedRankConfSyncTerminates(t *testing.T) {
 		DetectTimeout: 10 * des.Millisecond,
 	}
 	res, err := RunConfSync(ConfSyncSpec{
-		Machine: machine.IBMPower3Cluster().WithFaultPlan(plan),
+		Machine: machine.MustNew("ibm-power3").WithFaultPlan(plan),
 		CPUs:    8,
 		Seed:    5,
 	})

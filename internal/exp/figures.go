@@ -100,13 +100,27 @@ type Options struct {
 	// consulted before execution (after the in-memory memo cache), so a
 	// killed sweep resumes where it died.
 	Store *Store
+
+	// Sharded-DES configuration, consumed by the "scale" figure only.
+
+	// Shards is the DES shard count for scale cells; 0 selects
+	// DefaultScaleShards. Part of each cell's identity: results are
+	// bit-identical for a fixed shard count (and Elapsed for any).
+	Shards int
+	// SpillDir, when non-empty, streams scale-cell trace arenas to spill
+	// files under this directory, bounding resident trace memory.
+	SpillDir string
+	// SpillThreshold is the per-shard resident event count that triggers
+	// a spill; 0 selects DefaultSpillThreshold. Harness configuration,
+	// never part of spec keys.
+	SpillThreshold int
 }
 
 func (o Options) machine() *machine.Config {
 	if o.Machine != nil {
 		return o.Machine
 	}
-	return machine.IBMPower3Cluster()
+	return machine.MustNew("ibm-power3")
 }
 
 func (o Options) seed() uint64 {
@@ -193,22 +207,6 @@ func Fig7(appName string, opts Options) (*Figure, error) {
 	return NewRunner(opts).runPlan(plan)
 }
 
-// ConfSyncProbe measures VT_confsync behaviour on one world size: the
-// mean cost over repetitions of calling ConfSync with or without staged
-// configuration changes and with or without the runtime-statistics dump.
-//
-// Deprecated: use RunConfSync with a ConfSyncSpec — the spec form carries
-// a canonical Key for dedup/caching and documented defaults.
-func ConfSyncProbe(mach *machine.Config, cpus, reps, nfuncs, changes int,
-	writeStats bool, seed uint64) (mean des.Time, err error) {
-
-	res, err := RunConfSync(ConfSyncSpec{
-		Machine: mach, CPUs: cpus, Reps: reps, NFuncs: nfuncs,
-		Changes: changes, WriteStats: writeStats, Seed: seed,
-	})
-	return res.Mean, err
-}
-
 // confSyncCPUs is the processor sweep of Figure 8 (a) and (b).
 var confSyncCPUs = []int{2, 4, 8, 16, 32, 64, 128, 256, 512}
 
@@ -281,7 +279,7 @@ func Fig8b(opts Options) (*Figure, error) {
 // cluster, demonstrating "that the synchronization API has similar
 // behavior between two different processor architectures".
 func planFig8c(opts Options) *figurePlan {
-	mach := machine.IA32LinuxCluster()
+	mach := machine.MustNew("ia32-linux")
 	plan := &figurePlan{fig: &Figure{
 		ID:     "fig8c",
 		Title:  "Time for VT_confsync on IA32",

@@ -129,15 +129,6 @@ type Result struct {
 	Faults []fault.Event
 }
 
-// RunPolicy executes one (application, policy, CPU count) cell and returns
-// its measurements. The seed fixes all simulated asynchrony.
-//
-// Deprecated: use Run with a RunSpec — the spec form carries a canonical
-// Key for dedup/caching and is what exp.Runner schedules.
-func RunPolicy(mach *machine.Config, app *guide.App, p Policy, cpus int, args map[string]int, seed uint64) (Result, error) {
-	return Run(RunSpec{AppDef: app, Policy: p, CPUs: cpus, Machine: mach, Args: args, Seed: seed})
-}
-
 // runDynamic measures the Dynamic policy: dynprof spawns the target,
 // instruments the application's subset before the main computation (via
 // insert-file, as Section 4.2 describes) and detaches. An aborted run

@@ -57,6 +57,11 @@ func planFor(id string, opts Options) (*figurePlan, error) {
 		return planHybrid(opts), nil
 	case "faults":
 		return planFaults(opts), nil
+	case "scale":
+		// Addressable on demand but deliberately absent from FigureIDs():
+		// the default sweep and its goldens are unchanged by the scale
+		// figure's existence.
+		return planScale(opts), nil
 	default:
 		return nil, fmt.Errorf("exp: unknown figure %q (have %v)", id, FigureIDs())
 	}
@@ -122,6 +127,9 @@ type CellEvent struct {
 	WallMS float64 `json:"wall_ms"`
 	// SimS is the simulated seconds the cell's run covered.
 	SimS float64 `json:"sim_s"`
+	// Events is the DES event count of the cell's run, when the result
+	// reports one (currently scale cells only).
+	Events uint64 `json:"events,omitempty"`
 	// Faults is the cell run's structured fault-event stream; omitted
 	// for cells on fault-free machines.
 	Faults []fault.Event `json:"faults,omitempty"`
@@ -368,6 +376,7 @@ func (r *Runner) runPlans(plans []*figurePlan) ([]*Figure, error) {
 			} else {
 				ev.Value = c.value(e.val)
 				ev.Faults = faultsOf(e.val)
+				ev.Events = eventsOf(e.val)
 				p.fig.Series[c.series].Points = append(p.fig.Series[c.series].Points, Point{CPUs: c.cpus, Value: ev.Value})
 			}
 			if r.opts.OnCell != nil {
@@ -396,6 +405,16 @@ func virtualOf(val any) des.Time {
 		return v.Mean
 	case HybridResult:
 		return v.Elapsed
+	case ScaleResult:
+		return v.Elapsed
+	}
+	return 0
+}
+
+// eventsOf extracts a cell result's DES event count, when reported.
+func eventsOf(val any) uint64 {
+	if v, ok := val.(ScaleResult); ok {
+		return v.Events
 	}
 	return 0
 }

@@ -179,7 +179,7 @@ func TestSeedZeroRequestable(t *testing.T) {
 // that changes a run.
 func TestSpecKeys(t *testing.T) {
 	base := RunSpec{App: "smg98", Policy: Full, CPUs: 4, Seed: DefaultSeed}
-	if base.Key() != (RunSpec{App: "smg98", Policy: Full, CPUs: 4, Machine: machine.IBMPower3Cluster(), Seed: DefaultSeed}).Key() {
+	if base.Key() != (RunSpec{App: "smg98", Policy: Full, CPUs: 4, Machine: machine.MustNew("ibm-power3"), Seed: DefaultSeed}).Key() {
 		t.Error("nil machine and explicit IBM preset must share a key")
 	}
 	for name, other := range map[string]RunSpec{
@@ -187,7 +187,7 @@ func TestSpecKeys(t *testing.T) {
 		"cpus":    {App: "smg98", Policy: Full, CPUs: 8, Seed: DefaultSeed},
 		"seed":    {App: "smg98", Policy: Full, CPUs: 4, Seed: 7},
 		"args":    {App: "smg98", Policy: Full, CPUs: 4, Args: map[string]int{"nx": 6}, Seed: DefaultSeed},
-		"machine": {App: "smg98", Policy: Full, CPUs: 4, Machine: machine.IA32LinuxCluster(), Seed: DefaultSeed},
+		"machine": {App: "smg98", Policy: Full, CPUs: 4, Machine: machine.MustNew("ia32-linux"), Seed: DefaultSeed},
 	} {
 		if other.Key() == base.Key() {
 			t.Errorf("%s change did not change the key %q", name, base.Key())
@@ -211,19 +211,23 @@ func TestSpecKeys(t *testing.T) {
 	}
 }
 
-// TestConfSyncSpecDefaults: the documented defaults match the deprecated
-// positional probe's canonical arguments.
+// TestConfSyncSpecDefaults: the zero spec resolves to the documented
+// canonical arguments (16 reps against a 64-entry function table on the
+// IBM machine) — spelling them out explicitly must not change the run.
 func TestConfSyncSpecDefaults(t *testing.T) {
 	viaSpec, err := RunConfSync(ConfSyncSpec{CPUs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaProbe, err := ConfSyncProbe(nil, 4, 16, 64, 0, false, DefaultSeed)
+	explicit, err := RunConfSync(ConfSyncSpec{
+		CPUs: 4, Reps: DefaultConfSyncReps, NFuncs: DefaultConfSyncFuncs,
+		Machine: machine.MustNew("ibm-power3"), Seed: DefaultSeed,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if viaSpec.Mean != viaProbe {
-		t.Errorf("spec defaults %v != positional probe %v", viaSpec.Mean, viaProbe)
+	if viaSpec.Mean != explicit.Mean {
+		t.Errorf("spec defaults %v != explicit canonical arguments %v", viaSpec.Mean, explicit.Mean)
 	}
 }
 

@@ -90,7 +90,7 @@ func (s RunSpec) machine() *machine.Config {
 	if s.Machine != nil {
 		return s.Machine
 	}
-	return machine.IBMPower3Cluster()
+	return machine.MustNew("ibm-power3")
 }
 
 // Key canonicalises the spec for dedup/caching: identical keys describe
@@ -192,7 +192,7 @@ type ConfSyncSpec struct {
 // norm fills in the documented defaults.
 func (s ConfSyncSpec) norm() ConfSyncSpec {
 	if s.Machine == nil {
-		s.Machine = machine.IBMPower3Cluster()
+		s.Machine = machine.MustNew("ibm-power3")
 	}
 	if s.Reps == 0 {
 		s.Reps = DefaultConfSyncReps
@@ -311,7 +311,7 @@ func (s HybridSpec) norm() HybridSpec {
 		s.CPUs = 4
 	}
 	if s.Machine == nil {
-		s.Machine = machine.IBMPower3Cluster()
+		s.Machine = machine.MustNew("ibm-power3")
 	}
 	if s.Args == nil {
 		s.Args = defaultHybridArgs

@@ -21,6 +21,7 @@ type storeRecord struct {
 	Run      *Result         `json:"run,omitempty"`
 	ConfSync *ConfSyncResult `json:"confsync,omitempty"`
 	Hybrid   *HybridResult   `json:"hybrid,omitempty"`
+	Scale    *ScaleResult    `json:"scale,omitempty"`
 }
 
 // value returns the record's typed result.
@@ -32,6 +33,8 @@ func (rec *storeRecord) value() (any, error) {
 		return *rec.ConfSync, nil
 	case rec.Hybrid != nil:
 		return *rec.Hybrid, nil
+	case rec.Scale != nil:
+		return *rec.Scale, nil
 	}
 	return nil, fmt.Errorf("exp: store record %q carries no result", rec.Key)
 }
@@ -122,7 +125,7 @@ func (st *Store) Get(key string) (any, bool) {
 }
 
 // Put appends one successful cell result to the journal (fsynced) and
-// indexes it. Only the three cell result types are storable; failures are
+// indexes it. Only the typed cell results are storable; failures are
 // never persisted — a resumed sweep re-attempts them.
 func (st *Store) Put(key string, val any) error {
 	rec := storeRecord{Key: key}
@@ -133,6 +136,8 @@ func (st *Store) Put(key string, val any) error {
 		rec.ConfSync = &v
 	case HybridResult:
 		rec.Hybrid = &v
+	case ScaleResult:
+		rec.Scale = &v
 	default:
 		return fmt.Errorf("exp: store: unstorable cell result %T for %q", val, key)
 	}
@@ -183,6 +188,8 @@ func (st *Store) Compact() error {
 			rec.ConfSync = &v
 		case HybridResult:
 			rec.Hybrid = &v
+		case ScaleResult:
+			rec.Scale = &v
 		}
 		if err := enc.Encode(rec); err != nil {
 			tmp.Close()

@@ -54,7 +54,7 @@ func toyOMPApp() *App {
 func runJob(t *testing.T, bin *Binary, n int) *Job {
 	t.Helper()
 	s := des.NewScheduler(21)
-	j, err := Launch(s, machine.IBMPower3Cluster(), bin, LaunchOpts{Procs: n})
+	j, err := Launch(s, machine.MustNew("ibm-power3"), bin, LaunchOpts{Procs: n})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestFullOffSlowerThanNoneButSilent(t *testing.T) {
 	args := map[string]int{"iters": 400}
 	elapsed := func(bin *Binary) des.Time {
 		s := des.NewScheduler(21)
-		j, err := Launch(s, machine.IBMPower3Cluster(), bin, LaunchOpts{Procs: 2, Args: args})
+		j, err := Launch(s, machine.MustNew("ibm-power3"), bin, LaunchOpts{Procs: 2, Args: args})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +161,7 @@ func TestFullOffSlowerThanNoneButSilent(t *testing.T) {
 	}
 	// Full-Off must record no subroutine events.
 	s := des.NewScheduler(21)
-	j, _ := Launch(s, machine.IBMPower3Cluster(), fullOff, LaunchOpts{Procs: 2, Args: args})
+	j, _ := Launch(s, machine.MustNew("ibm-power3"), fullOff, LaunchOpts{Procs: 2, Args: args})
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestHoldAndRelease(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := des.NewScheduler(21)
-	j, err := Launch(s, machine.IBMPower3Cluster(), bin, LaunchOpts{Procs: 2, Hold: true})
+	j, err := Launch(s, machine.MustNew("ibm-power3"), bin, LaunchOpts{Procs: 2, Hold: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestOMPJobScalesDown(t *testing.T) {
 	}
 	elapsed := func(threads int) des.Time {
 		s := des.NewScheduler(21)
-		j, err := Launch(s, machine.IBMPower3Cluster(), bin, LaunchOpts{Procs: threads})
+		j, err := Launch(s, machine.MustNew("ibm-power3"), bin, LaunchOpts{Procs: threads})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -265,7 +265,7 @@ func TestOMPRefusesTooManyThreads(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := des.NewScheduler(21)
-	if _, err := Launch(s, machine.IBMPower3Cluster(), bin, LaunchOpts{Procs: 9}); err == nil {
+	if _, err := Launch(s, machine.MustNew("ibm-power3"), bin, LaunchOpts{Procs: 9}); err == nil {
 		t.Fatal("9 threads on an 8-way node should fail")
 	}
 }

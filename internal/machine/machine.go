@@ -79,21 +79,6 @@ func (c *Config) WithFaultPlan(plan *fault.Plan) *Config {
 	return &clone
 }
 
-// IBMPower3Cluster returns the paper's primary platform: 144 SMP nodes,
-// each with eight 375 MHz Power3 processors and 4 GB of shared memory,
-// connected by IBM Colony switches, running AIX 5.1 with POE.
-//
-// Deprecated: use New("ibm-power3", opts...) — the preset registry plus
-// functional options replaces the fixed constructors.
-func IBMPower3Cluster() *Config { return ibmPower3() }
-
-// IA32LinuxCluster returns the secondary platform of Section 5: a 16-node
-// Intel Pentium III IA32 Linux cluster (Figure 8c).
-//
-// Deprecated: use New("ia32-linux", opts...) — the preset registry plus
-// functional options replaces the fixed constructors.
-func IA32LinuxCluster() *Config { return ia32Linux() }
-
 // TotalCPUs reports the machine's processor count.
 func (c *Config) TotalCPUs() int { return c.Nodes * c.CPUsPerNode }
 

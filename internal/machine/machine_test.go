@@ -8,21 +8,21 @@ import (
 )
 
 func TestPresets(t *testing.T) {
-	ibm := IBMPower3Cluster()
+	ibm := MustNew("ibm-power3")
 	if ibm.TotalCPUs() != 144*8 {
 		t.Fatalf("IBM total CPUs = %d", ibm.TotalCPUs())
 	}
 	if ibm.ClockHz != 375e6 {
 		t.Fatalf("IBM clock = %v", ibm.ClockHz)
 	}
-	ia32 := IA32LinuxCluster()
+	ia32 := MustNew("ia32-linux")
 	if ia32.Nodes != 16 || ia32.CPUsPerNode != 1 {
 		t.Fatalf("IA32 shape = %d x %d", ia32.Nodes, ia32.CPUsPerNode)
 	}
 }
 
 func TestCyclesToTime(t *testing.T) {
-	c := IBMPower3Cluster()
+	c := MustNew("ibm-power3")
 	// 375e6 cycles at 375 MHz is exactly one second.
 	if got := c.CyclesToTime(375e6); got != des.Second {
 		t.Fatalf("CyclesToTime(375e6) = %v, want 1s", got)
@@ -36,7 +36,7 @@ func TestCyclesToTime(t *testing.T) {
 }
 
 func TestTransferTime(t *testing.T) {
-	c := IBMPower3Cluster()
+	c := MustNew("ibm-power3")
 	remote := c.TransferTime(0, 1, 0)
 	if remote != c.Net.Latency {
 		t.Fatalf("zero-byte remote transfer = %v, want latency %v", remote, c.Net.Latency)
@@ -56,7 +56,7 @@ func TestTransferTime(t *testing.T) {
 }
 
 func TestTransferTimeMonotoneProperty(t *testing.T) {
-	c := IA32LinuxCluster()
+	c := MustNew("ia32-linux")
 	f := func(a, b uint16) bool {
 		x, y := int(a), int(b)
 		if x > y {
@@ -70,7 +70,7 @@ func TestTransferTimeMonotoneProperty(t *testing.T) {
 }
 
 func TestPackPlacement(t *testing.T) {
-	c := IBMPower3Cluster()
+	c := MustNew("ibm-power3")
 	p, err := Pack(c, 20)
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +93,7 @@ func TestPackPlacement(t *testing.T) {
 }
 
 func TestPackErrors(t *testing.T) {
-	c := IA32LinuxCluster()
+	c := MustNew("ia32-linux")
 	if _, err := Pack(c, 0); err == nil {
 		t.Error("Pack(0) should fail")
 	}
@@ -103,7 +103,7 @@ func TestPackErrors(t *testing.T) {
 }
 
 func TestOneNodePlacement(t *testing.T) {
-	c := IBMPower3Cluster()
+	c := MustNew("ibm-power3")
 	p, err := OneNode(c, 8)
 	if err != nil {
 		t.Fatal(err)

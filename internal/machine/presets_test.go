@@ -8,20 +8,20 @@ import (
 	"dynprof/internal/fault"
 )
 
-func TestNewMatchesDeprecatedConstructors(t *testing.T) {
+func TestNewMatchesBuilders(t *testing.T) {
 	ibm, err := New("ibm-power3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *ibm != *IBMPower3Cluster() {
-		t.Errorf("New(ibm-power3) = %+v differs from IBMPower3Cluster()", *ibm)
+	if *ibm != *ibmPower3() {
+		t.Errorf("New(ibm-power3) = %+v differs from the ibmPower3 builder", *ibm)
 	}
 	ia32, err := New("ia32-linux")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *ia32 != *IA32LinuxCluster() {
-		t.Errorf("New(ia32-linux) = %+v differs from IA32LinuxCluster()", *ia32)
+	if *ia32 != *ia32Linux() {
+		t.Errorf("New(ia32-linux) = %+v differs from the ia32Linux builder", *ia32)
 	}
 }
 
@@ -101,13 +101,13 @@ func TestWithFaultsZeroPlanIsFree(t *testing.T) {
 	if a.Faults != nil || b.Faults != nil {
 		t.Error("zero plans must leave the machine fault-free")
 	}
-	if c := IBMPower3Cluster().WithFaultPlan(nilPlan); c.Faults != nil {
+	if c := MustNew("ibm-power3").WithFaultPlan(nilPlan); c.Faults != nil {
 		t.Error("WithFaultPlan(zero) must clear the plan")
 	}
 }
 
 func TestWithFaultPlanClones(t *testing.T) {
-	base := IBMPower3Cluster()
+	base := MustNew("ibm-power3")
 	plan := &fault.Plan{CtrlLossProb: 0.5}
 	faulted := base.WithFaultPlan(plan)
 	if base.Faults != nil {
@@ -126,7 +126,7 @@ func TestWithFaultPlanClones(t *testing.T) {
 }
 
 func TestNegativeConversionsPanic(t *testing.T) {
-	c := IBMPower3Cluster()
+	c := MustNew("ibm-power3")
 	expectPanic := func(name string, f func()) {
 		t.Helper()
 		defer func() {
@@ -147,7 +147,7 @@ func TestNegativeConversionsPanic(t *testing.T) {
 }
 
 func TestPlacementNodesPrealloc(t *testing.T) {
-	c := IBMPower3Cluster()
+	c := MustNew("ibm-power3")
 	p, err := Pack(c, 24)
 	if err != nil {
 		t.Fatal(err)

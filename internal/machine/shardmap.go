@@ -1,0 +1,65 @@
+package machine
+
+import (
+	"fmt"
+
+	"dynprof/internal/des"
+)
+
+// ShardMap assigns the machine's nodes to DES shards for conservative
+// parallel simulation (see internal/des Cluster). Nodes are assigned in
+// contiguous, balanced blocks, so with Pack placement all ranks of one
+// node — and whole runs of neighbouring ranks — share a shard. That keeps
+// the frequent, fast intra-node traffic (ShmLatency) inside one shard and
+// leaves only inter-node messages crossing shards, where the wire latency
+// provides the conservative lookahead.
+type ShardMap struct {
+	cfg    *Config
+	shards int
+}
+
+// NewShardMap builds a mapping of the machine's nodes onto at most shards
+// shards. Asking for more shards than nodes clamps to one node per shard
+// (a shard with no nodes would idle forever). The machine must have a
+// positive inter-node wire latency when more than one shard results: the
+// latency is the lookahead, and a zero lookahead admits no conservative
+// window.
+func NewShardMap(cfg *Config, shards int) (*ShardMap, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("machine: shard map needs at least one shard, got %d", shards)
+	}
+	if shards > cfg.Nodes {
+		shards = cfg.Nodes
+	}
+	if shards > 1 && cfg.Net.Latency <= 0 {
+		return nil, fmt.Errorf("machine: %s: cannot shard a machine with zero wire latency (no lookahead)", cfg.Name)
+	}
+	return &ShardMap{cfg: cfg, shards: shards}, nil
+}
+
+// Shards reports the effective shard count (after clamping to the node
+// count).
+func (m *ShardMap) Shards() int { return m.shards }
+
+// Config returns the machine the map was built for.
+func (m *ShardMap) Config() *Config { return m.cfg }
+
+// Lookahead is the conservative lookahead the mapping supports: the
+// inter-node wire latency. No message between nodes — hence between
+// shards — can arrive faster.
+func (m *ShardMap) Lookahead() des.Time { return m.cfg.Net.Latency }
+
+// ShardOfNode reports which shard simulates node. Blocks are contiguous
+// and balanced: with N nodes over S shards, shard k covers nodes
+// [k*N/S, (k+1)*N/S).
+func (m *ShardMap) ShardOfNode(node int) int {
+	if node < 0 || node >= m.cfg.Nodes {
+		panic(fmt.Sprintf("machine: ShardOfNode(%d) outside %s's %d nodes", node, m.cfg.Name, m.cfg.Nodes))
+	}
+	return node * m.shards / m.cfg.Nodes
+}
+
+// ShardOfRank reports the shard simulating rank r under placement p.
+func (m *ShardMap) ShardOfRank(p *Placement, r int) int {
+	return m.ShardOfNode(p.NodeOf(r))
+}

@@ -1,0 +1,96 @@
+package machine
+
+import "testing"
+
+func TestShardMapContiguousBalanced(t *testing.T) {
+	c := MustNew("ibm-power3") // 144 nodes
+	m, err := NewShardMap(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards() != 8 || m.Config() != c {
+		t.Fatalf("map = %d shards on %v", m.Shards(), m.Config().Name)
+	}
+	counts := make([]int, m.Shards())
+	prev := 0
+	for n := 0; n < c.Nodes; n++ {
+		s := m.ShardOfNode(n)
+		if s < prev {
+			t.Fatalf("node %d maps to shard %d after shard %d: not contiguous", n, s, prev)
+		}
+		prev = s
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n != 18 { // 144/8
+			t.Errorf("shard %d simulates %d nodes, want 18", s, n)
+		}
+	}
+}
+
+func TestShardMapClampsToNodes(t *testing.T) {
+	c := MustNew("ibm-power3", WithNodes(3))
+	m, err := NewShardMap(c, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards() != 3 {
+		t.Errorf("shards = %d, want clamp to 3 nodes", m.Shards())
+	}
+}
+
+func TestShardMapRanksFollowNodes(t *testing.T) {
+	c := MustNew("ibm-power3")
+	p, err := Pack(c, 64) // 8 nodes' worth of ranks
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewShardMap(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p.Size(); r++ {
+		if got, want := m.ShardOfRank(p, r), m.ShardOfNode(p.NodeOf(r)); got != want {
+			t.Fatalf("rank %d: shard %d != node shard %d", r, got, want)
+		}
+	}
+	// All ranks of one node must share a shard (intra-node traffic is
+	// shm-latency fast and must never cross a shard boundary).
+	for r := 1; r < p.Size(); r++ {
+		if p.NodeOf(r) == p.NodeOf(r-1) && m.ShardOfRank(p, r) != m.ShardOfRank(p, r-1) {
+			t.Fatalf("ranks %d and %d share node %d but not a shard", r-1, r, p.NodeOf(r))
+		}
+	}
+}
+
+func TestShardMapLookahead(t *testing.T) {
+	c := MustNew("ibm-power3")
+	m, err := NewShardMap(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Lookahead() != c.Net.Latency {
+		t.Errorf("lookahead = %v, want wire latency %v", m.Lookahead(), c.Net.Latency)
+	}
+}
+
+func TestShardMapValidates(t *testing.T) {
+	c := MustNew("ibm-power3")
+	if _, err := NewShardMap(c, 0); err == nil {
+		t.Error("zero shards must be rejected")
+	}
+	flat := MustNew("ibm-power3", WithNetwork(Network{ShmLatency: 1, ShmBandwidth: 1, Bandwidth: 1}))
+	if _, err := NewShardMap(flat, 2); err == nil {
+		t.Error("multi-shard map on a zero-latency network must be rejected")
+	}
+	if m, err := NewShardMap(flat, 1); err != nil || m.Shards() != 1 {
+		t.Errorf("single shard needs no lookahead: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range node must panic")
+		}
+	}()
+	m, _ := NewShardMap(c, 2)
+	m.ShardOfNode(144)
+}

@@ -17,7 +17,7 @@ import (
 func crashWorld(t *testing.T, n int, plan *fault.Plan, body func(c *Ctx)) (*World, *fault.Injector, error) {
 	t.Helper()
 	s := des.NewScheduler(7)
-	cfg := machine.IBMPower3Cluster().WithFaultPlan(plan)
+	cfg := machine.MustNew("ibm-power3").WithFaultPlan(plan)
 	place, err := machine.Pack(cfg, n)
 	if err != nil {
 		t.Fatal(err)

@@ -15,7 +15,7 @@ import (
 func runWorld(t *testing.T, n int, mk func(r int) Hooks, body func(c *Ctx)) *World {
 	t.Helper()
 	s := des.NewScheduler(7)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	place, err := machine.Pack(cfg, n)
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestRecvChargesLatency(t *testing.T) {
 			recvAt = c.t.Now()
 		}
 	})
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	wire := cfg.TransferTime(0, 0, 1<<20) // rank 0 and 1 share node 0
 	if recvAt-sendAt < wire {
 		t.Fatalf("recv completed %v after send, want >= %v wire time", recvAt-sendAt, wire)
@@ -261,7 +261,7 @@ func TestGather(t *testing.T) {
 
 func TestCollectiveMismatchPanics(t *testing.T) {
 	s := des.NewScheduler(7)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	place, _ := machine.Pack(cfg, 2)
 	w := NewWorld(s, place)
 	for r := 0; r < 2; r++ {
@@ -344,7 +344,7 @@ func TestWtimeMonotonic(t *testing.T) {
 
 func TestCallsBeforeInitPanic(t *testing.T) {
 	s := des.NewScheduler(7)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	place, _ := machine.Pack(cfg, 2)
 	w := NewWorld(s, place)
 	img := image.NewBuilder("t").Build()

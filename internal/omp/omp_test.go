@@ -15,7 +15,7 @@ import (
 func runTeam(t *testing.T, n int, hooks Hooks, main func(rt *Runtime, master *proc.Thread)) {
 	t.Helper()
 	s := des.NewScheduler(3)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	img := image.NewBuilder("omp").Build()
 	pr := proc.NewProcess(s, cfg, "omp", 0, 0, img)
 	pr.Start(func(master *proc.Thread) {
@@ -188,7 +188,7 @@ func (h *recordingHooks) RegionJoin(m *proc.Thread, r string) { *h.log = append(
 
 func TestNestedParallelPanics(t *testing.T) {
 	s := des.NewScheduler(3)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	pr := proc.NewProcess(s, cfg, "omp", 0, 0, image.NewBuilder("omp").Build())
 	pr.Start(func(master *proc.Thread) {
 		rt := New(pr, master, 2, nil)
@@ -208,7 +208,7 @@ func TestNestedParallelPanics(t *testing.T) {
 
 func TestSuspendBetweenRegions(t *testing.T) {
 	s := des.NewScheduler(3)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	pr := proc.NewProcess(s, cfg, "omp", 0, 0, image.NewBuilder("omp").Build())
 	stopped := false
 	pr.Start(func(master *proc.Thread) {

@@ -9,7 +9,7 @@ import (
 
 func TestAccessors(t *testing.T) {
 	s := des.NewScheduler(1)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	img := testImage(t, "f")
 	pr := NewProcess(s, cfg, "acc", 3, 2, img)
 	if pr.Name() != "acc" || pr.Rank() != 3 || pr.Node() != 2 {
@@ -55,7 +55,7 @@ func TestAccessors(t *testing.T) {
 
 func TestWorkTimeAdvancesClock(t *testing.T) {
 	s := des.NewScheduler(1)
-	pr := NewProcess(s, machine.IBMPower3Cluster(), "p", 0, 0, testImage(t, "f"))
+	pr := NewProcess(s, machine.MustNew("ibm-power3"), "p", 0, 0, testImage(t, "f"))
 	var now des.Time
 	pr.Start(func(th *Thread) {
 		th.WorkTime(7 * des.Millisecond)
@@ -72,7 +72,7 @@ func TestWorkTimeAdvancesClock(t *testing.T) {
 
 func TestNegativeWorkPanics(t *testing.T) {
 	s := des.NewScheduler(1)
-	pr := NewProcess(s, machine.IBMPower3Cluster(), "p", 0, 0, testImage(t, "f"))
+	pr := NewProcess(s, machine.MustNew("ibm-power3"), "p", 0, 0, testImage(t, "f"))
 	pr.Start(func(th *Thread) { th.Work(-1) })
 	defer func() {
 		if recover() == nil {

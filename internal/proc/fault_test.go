@@ -13,7 +13,7 @@ const mcyc = 375_000
 
 func faultedMachine(t *testing.T, plan *fault.Plan) *machine.Config {
 	t.Helper()
-	return machine.IBMPower3Cluster().WithFaultPlan(plan)
+	return machine.MustNew("ibm-power3").WithFaultPlan(plan)
 }
 
 // TestSlowdownStretchesWork: a 2x slowdown on the process's node doubles
@@ -111,7 +111,7 @@ func TestStallStretchCases(t *testing.T) {
 // Exited/Crashed, and releases WaitExit without deadlocking the DES.
 func TestCrashStopsProcess(t *testing.T) {
 	s := des.NewScheduler(1)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	pr := NewProcess(s, cfg, "victim", 0, 0, testImage(t, "f"))
 	var steps int
 	pr.Start(func(th *Thread) {

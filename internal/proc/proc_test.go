@@ -21,7 +21,7 @@ func testImage(t testing.TB, names ...string) *image.Image {
 
 func TestCallGateChargesTime(t *testing.T) {
 	s := des.NewScheduler(1)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	img := testImage(t, "f")
 	pr := NewProcess(s, cfg, "p", 0, 0, img)
 	var elapsed des.Time
@@ -43,7 +43,7 @@ func TestCallGateChargesTime(t *testing.T) {
 
 func TestPreciseClockIncludesPending(t *testing.T) {
 	s := des.NewScheduler(1)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	pr := NewProcess(s, cfg, "p", 0, 0, testImage(t, "f"))
 	pr.Start(func(th *Thread) {
 		base := th.Now()
@@ -59,7 +59,7 @@ func TestPreciseClockIncludesPending(t *testing.T) {
 
 func TestNestedCallsFireProbesInOrder(t *testing.T) {
 	s := des.NewScheduler(1)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	img := testImage(t, "outer", "inner")
 	var events []string
 	for _, n := range []string{"outer", "inner"} {
@@ -101,7 +101,7 @@ func TestNestedCallsFireProbesInOrder(t *testing.T) {
 
 func TestSuspendResumeAtSafePoint(t *testing.T) {
 	s := des.NewScheduler(1)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	pr := NewProcess(s, cfg, "app", 0, 0, testImage(t, "f"))
 	var stoppedSeen bool
 	var resumedAt des.Time
@@ -135,7 +135,7 @@ func TestSuspendResumeAtSafePoint(t *testing.T) {
 
 func TestSuspendCoversMultipleThreads(t *testing.T) {
 	s := des.NewScheduler(1)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	pr := NewProcess(s, cfg, "omp", 0, 0, testImage(t, "f"))
 	stopped := false
 	pr.Start(func(th *Thread) {
@@ -170,7 +170,7 @@ func TestSuspendCoversMultipleThreads(t *testing.T) {
 
 func TestBlockedThreadCountsAsStopped(t *testing.T) {
 	s := des.NewScheduler(1)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	pr := NewProcess(s, cfg, "app", 0, 0, testImage(t, "f"))
 	release := des.NewGate("release", false)
 	pr.Start(func(th *Thread) {
@@ -198,7 +198,7 @@ func TestBlockedThreadCountsAsStopped(t *testing.T) {
 
 func TestBreakpointHandler(t *testing.T) {
 	s := des.NewScheduler(1)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	pr := NewProcess(s, cfg, "app", 0, 0, testImage(t, "f"))
 	var hits []string
 	pr.SetBreakpointHandler(func(th *Thread, name string) {
@@ -227,7 +227,7 @@ func TestBreakpointHandler(t *testing.T) {
 
 func TestExitRotationCoversAllExits(t *testing.T) {
 	s := des.NewScheduler(1)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	b := image.NewBuilder("t")
 	if _, err := b.AddFunc(image.FuncSpec{Name: "multi", BodyWords: 2, Exits: 3}); err != nil {
 		t.Fatal(err)
@@ -261,7 +261,7 @@ func TestExitRotationCoversAllExits(t *testing.T) {
 
 func TestInstrCyclesAccounting(t *testing.T) {
 	s := des.NewScheduler(1)
-	cfg := machine.IBMPower3Cluster()
+	cfg := machine.MustNew("ibm-power3")
 	img := testImage(t, "f")
 	sym := img.MustLookup("f")
 	id := img.NewSnippetID()
@@ -284,7 +284,7 @@ func TestInstrCyclesAccounting(t *testing.T) {
 
 func TestWaitExit(t *testing.T) {
 	s := des.NewScheduler(1)
-	cfg := machine.IA32LinuxCluster()
+	cfg := machine.MustNew("ia32-linux")
 	pr := NewProcess(s, cfg, "p", 0, 0, testImage(t, "f"))
 	pr.Start(func(th *Thread) { th.Work(800_000) }) // 1ms at 800 MHz
 	var sawExit des.Time

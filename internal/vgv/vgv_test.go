@@ -168,7 +168,7 @@ func TestSweep3dTimelineIntegration(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := des.NewScheduler(53)
-	j, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{
+	j, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{
 		Procs: 4,
 		Args:  map[string]int{"nx": 16, "ny": 4, "nz": 4, "iters": 2},
 	})
@@ -222,7 +222,7 @@ func TestUmt98RegionWiggleIntegration(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := des.NewScheduler(53)
-	j, err := guide.Launch(s, machine.IBMPower3Cluster(), bin, guide.LaunchOpts{
+	j, err := guide.Launch(s, machine.MustNew("ibm-power3"), bin, guide.LaunchOpts{
 		Procs: 4,
 		Args:  map[string]int{"zones": 64, "angles": 8, "iters": 2},
 	})

@@ -110,6 +110,11 @@ type Collector struct {
 
 	merged  []Event // cached merged view; valid while mergedN == len(store)
 	mergedN int
+
+	// spill, when non-nil, streams the arena to disk whenever it exceeds
+	// the configured threshold, bounding resident trace memory (see
+	// spill.go and SpillTo).
+	spill *spillSink
 }
 
 // eventBufPool recycles collector arenas across simulation cells: a
@@ -127,9 +132,9 @@ func NewCollector() *Collector {
 	}
 }
 
-// Release returns the collector's arena to the shared pool. The caller
-// declares that neither the collector nor any slice obtained from Events
-// will be used again.
+// Release returns the collector's arena to the shared pool and deletes any
+// spill file. The caller declares that neither the collector nor any slice
+// obtained from Events will be used again.
 func (col *Collector) Release() {
 	if col.store != nil {
 		buf := col.store[:0]
@@ -137,6 +142,10 @@ func (col *Collector) Release() {
 	}
 	col.store, col.segs, col.merged = nil, nil, nil
 	col.mergedN = -1
+	if col.spill != nil {
+		col.spill.close()
+		col.spill = nil
+	}
 }
 
 // AddFuncTable registers rank's id-to-name function table.
@@ -172,6 +181,9 @@ func (col *Collector) Append(events []Event) {
 		}
 		i = j
 	}
+	if col.spill != nil {
+		col.spill.maybeSpill(col)
+	}
 }
 
 // Events returns the merged events sorted by timestamp (stable: ties keep
@@ -187,24 +199,37 @@ func (col *Collector) Events() []Event {
 // rebuildMerged recomputes the cached time-ordered view. Each segment is
 // already sorted by (At, insertion index) — times non-decreasing, indices
 // strictly increasing — so a k-way merge keyed on (At, cursor index)
-// reproduces exactly the stable sort of the insertion-ordered stream.
+// reproduces exactly the stable sort of the insertion-ordered stream. A
+// spilling collector first restores the on-disk prefix (see spill.go); the
+// merge then runs over disk and arena segments together.
 func (col *Collector) rebuildMerged() {
 	col.mergedN = len(col.store)
-	switch len(col.segs) {
+	store, segs := col.store, col.segs
+	if col.spill != nil && col.spill.count > 0 {
+		store, segs = col.spill.combined(col)
+	}
+	switch len(segs) {
 	case 0:
 		col.merged = nil
 		return
 	case 1:
 		// Single timeline: the arena itself is the merged view. The full
 		// slice expression stops callers from appending into the arena.
-		s := col.segs[0]
-		col.merged = col.store[s.start:s.end:s.end]
+		s := segs[0]
+		col.merged = store[s.start:s.end:s.end]
 		return
 	}
-	cur := make([]int, len(col.segs))
-	heap := make([]int, 0, len(col.segs))
+	col.merged = mergeSegs(store, segs)
+}
+
+// mergeSegs k-way merges time-sorted segments of store, keyed on
+// (At, cursor index), producing the stable time order of the insertion-
+// ordered stream.
+func mergeSegs(store []Event, segs []segRange) []Event {
+	cur := make([]int, len(segs))
+	heap := make([]int, 0, len(segs))
 	less := func(a, b int) bool {
-		ea, eb := &col.store[cur[a]], &col.store[cur[b]]
+		ea, eb := &store[cur[a]], &store[cur[b]]
 		if ea.At != eb.At {
 			return ea.At < eb.At
 		}
@@ -226,32 +251,40 @@ func (col *Collector) rebuildMerged() {
 			i = c
 		}
 	}
-	for si, s := range col.segs {
+	total := 0
+	for si, s := range segs {
 		cur[si] = s.start
 		heap = append(heap, si)
+		total += s.end - s.start
 	}
 	for i := len(heap)/2 - 1; i >= 0; i-- {
 		siftDown(i)
 	}
-	out := make([]Event, 0, len(col.store))
+	out := make([]Event, 0, total)
 	for len(heap) > 0 {
 		si := heap[0]
-		out = append(out, col.store[cur[si]])
+		out = append(out, store[cur[si]])
 		cur[si]++
-		if cur[si] == col.segs[si].end {
+		if cur[si] == segs[si].end {
 			heap[0] = heap[len(heap)-1]
 			heap = heap[:len(heap)-1]
 		}
 		siftDown(0)
 	}
-	col.merged = out
+	return out
 }
 
-// Len reports the number of collected events.
-func (col *Collector) Len() int { return len(col.store) }
+// Len reports the number of collected events, spilled ones included.
+func (col *Collector) Len() int {
+	n := len(col.store)
+	if col.spill != nil {
+		n += col.spill.count
+	}
+	return n
+}
 
 // Bytes reports the trace's size under the fixed per-event record size.
-func (col *Collector) Bytes() int { return len(col.store) * EventBytes }
+func (col *Collector) Bytes() int { return col.Len() * EventBytes }
 
 // FuncName resolves a function id in rank's table.
 func (col *Collector) FuncName(rank, id int32) string {

@@ -13,7 +13,7 @@ import (
 func worldForAttach(t *testing.T, n int) *mpi.World {
 	t.Helper()
 	s := des.NewScheduler(11)
-	place, err := machine.Pack(machine.IBMPower3Cluster(), n)
+	place, err := machine.Pack(machine.MustNew("ibm-power3"), n)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,176 @@
+package vt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"dynprof/internal/des"
+)
+
+// This file adds a streaming spill sink to the Collector, bounding the
+// resident memory of very large traces (10k+ rank sweeps). Whenever the
+// in-memory arena grows past a threshold, the whole arena — every segment,
+// in global insertion order — is appended to an on-disk file of fixed-size
+// binary records and the arena is reset. Because the arena is always
+// spilled in full, the file is exactly the insertion-ordered prefix of the
+// event stream, and the resident events are exactly its suffix; the merged
+// time-ordered view is reconstructed on read by the same stable k-way merge
+// that serves the in-memory path, over disk and arena segments together.
+//
+// The sink follows the experiment store's durability discipline: each spill
+// batch is flushed and fsynced before Append returns, and records are
+// fixed-size so a torn final record (crash mid-spill) is detectable by the
+// file length.
+
+// spillRecBytes is the on-disk size of one spilled event record.
+const spillRecBytes = 40
+
+// spillSeg is one time-sorted segment of the spill file, in global record
+// indices.
+type spillSeg struct{ start, end int }
+
+// spillSink streams a Collector's arena to disk.
+type spillSink struct {
+	f         *os.File
+	path      string
+	threshold int
+	count     int // records on disk
+	segs      []spillSeg
+	err       error // sticky first I/O failure
+	buf       []byte
+}
+
+// SpillTo arms the collector's spill sink: once more than thresholdEvents
+// events are resident, the arena is streamed to a file at path (created or
+// truncated here) and resident memory drops back to zero. Len, Bytes,
+// Events and WriteTrace are unaffected by spilling apart from memory cost;
+// Release deletes the file. I/O failures after arming are sticky and
+// reported by SpillErr — the collector keeps counting but the merged view
+// is no longer reconstructable.
+func (col *Collector) SpillTo(path string, thresholdEvents int) error {
+	if thresholdEvents <= 0 {
+		return fmt.Errorf("vt: spill threshold must be positive, got %d", thresholdEvents)
+	}
+	if col.spill != nil {
+		return fmt.Errorf("vt: collector already spilling to %s", col.spill.path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("vt: spill: %w", err)
+	}
+	col.spill = &spillSink{f: f, path: path, threshold: thresholdEvents}
+	return nil
+}
+
+// Spilled reports how many events have been written to the spill file.
+func (col *Collector) Spilled() int {
+	if col.spill == nil {
+		return 0
+	}
+	return col.spill.count
+}
+
+// Resident reports how many events are held in memory (the arena suffix
+// not yet spilled).
+func (col *Collector) Resident() int { return len(col.store) }
+
+// SpillErr reports the first spill I/O failure, if any.
+func (col *Collector) SpillErr() error {
+	if col.spill == nil {
+		return nil
+	}
+	return col.spill.err
+}
+
+// maybeSpill streams the arena to disk if it has outgrown the threshold.
+// Called at the end of every Append.
+func (s *spillSink) maybeSpill(col *Collector) {
+	if s.err != nil || len(col.store) < s.threshold {
+		return
+	}
+	if cap(s.buf) < spillRecBytes*len(col.store) {
+		s.buf = make([]byte, spillRecBytes*len(col.store))
+	}
+	buf := s.buf[:spillRecBytes*len(col.store)]
+	for i := range col.store {
+		putSpillRec(buf[i*spillRecBytes:], &col.store[i])
+	}
+	if _, err := s.f.Write(buf); err != nil {
+		s.err = fmt.Errorf("vt: spill: %w", err)
+		return
+	}
+	if err := s.f.Sync(); err != nil {
+		s.err = fmt.Errorf("vt: spill: %w", err)
+		return
+	}
+	// The arena's segments become spill-file segments at the same relative
+	// positions, shifted past everything already on disk.
+	for _, seg := range col.segs {
+		s.segs = append(s.segs, spillSeg{start: s.count + seg.start, end: s.count + seg.end})
+	}
+	s.count += len(col.store)
+	col.store = col.store[:0]
+	col.segs = col.segs[:0]
+	col.merged = nil
+	col.mergedN = -1
+}
+
+// combined restores the full insertion-ordered store — disk prefix plus
+// resident suffix — and the matching segment list, for merge-on-read. On a
+// read failure the sticky error is set and only the resident events are
+// returned.
+func (s *spillSink) combined(col *Collector) ([]Event, []segRange) {
+	all := make([]Event, s.count+len(col.store))
+	if err := s.readAll(all[:s.count]); err != nil {
+		s.err = err
+		return col.store, col.segs
+	}
+	copy(all[s.count:], col.store)
+	segs := make([]segRange, 0, len(s.segs)+len(col.segs))
+	for _, seg := range s.segs {
+		segs = append(segs, segRange{start: seg.start, end: seg.end})
+	}
+	for _, seg := range col.segs {
+		segs = append(segs, segRange{start: s.count + seg.start, end: s.count + seg.end})
+	}
+	return all, segs
+}
+
+// readAll decodes the whole spill file into out (len(out) == count).
+func (s *spillSink) readAll(out []Event) error {
+	buf := make([]byte, spillRecBytes*len(out))
+	if _, err := s.f.ReadAt(buf, 0); err != nil {
+		return fmt.Errorf("vt: spill: %w", err)
+	}
+	for i := range out {
+		getSpillRec(buf[i*spillRecBytes:], &out[i])
+	}
+	return nil
+}
+
+// close releases and deletes the spill file.
+func (s *spillSink) close() {
+	s.f.Close()
+	os.Remove(s.path)
+}
+
+func putSpillRec(b []byte, e *Event) {
+	binary.LittleEndian.PutUint64(b[0:], uint64(e.At))
+	binary.LittleEndian.PutUint32(b[8:], uint32(e.Rank))
+	binary.LittleEndian.PutUint32(b[12:], uint32(e.TID))
+	binary.LittleEndian.PutUint32(b[16:], uint32(e.Kind))
+	binary.LittleEndian.PutUint32(b[20:], uint32(e.ID))
+	binary.LittleEndian.PutUint64(b[24:], uint64(e.A))
+	binary.LittleEndian.PutUint64(b[32:], uint64(e.B))
+}
+
+func getSpillRec(b []byte, e *Event) {
+	e.At = des.Time(binary.LittleEndian.Uint64(b[0:]))
+	e.Rank = int32(binary.LittleEndian.Uint32(b[8:]))
+	e.TID = int32(binary.LittleEndian.Uint32(b[12:]))
+	e.Kind = Kind(binary.LittleEndian.Uint32(b[16:]))
+	e.ID = int32(binary.LittleEndian.Uint32(b[20:]))
+	e.A = int64(binary.LittleEndian.Uint64(b[24:]))
+	e.B = int64(binary.LittleEndian.Uint64(b[32:]))
+}

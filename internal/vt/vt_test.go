@@ -298,7 +298,7 @@ func runMPIWorld(t *testing.T, n int, col *Collector, cfg *Config,
 	body func(c *mpi.Ctx, v *Ctx)) []*Ctx {
 	t.Helper()
 	s := des.NewScheduler(11)
-	mach := machine.IBMPower3Cluster()
+	mach := machine.MustNew("ibm-power3")
 	place, err := machine.Pack(mach, n)
 	if err != nil {
 		t.Fatal(err)
@@ -443,7 +443,7 @@ func TestConfSyncRecordsEvent(t *testing.T) {
 
 func TestOMPAdapterLogsRegions(t *testing.T) {
 	s := des.NewScheduler(5)
-	mach := machine.IBMPower3Cluster()
+	mach := machine.MustNew("ibm-power3")
 	col := NewCollector()
 	v := NewCtx(Options{Rank: 0, Collector: col, TraceOMP: true})
 	v.Initialize(nil)

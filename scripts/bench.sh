@@ -46,6 +46,68 @@ if [ "${1:-}" = "parse" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "scale" ]; then
+    # Scale mode: the sharded-DES rank sweep (1k/4k/16k, Smg98 + Sweep3d)
+    # at shards=1 vs shards=$SHARDS, emitting OUTDIR/BENCH_PR6.json with
+    # per-cell wall times, the shards speedup, aggregate events/sec and
+    # peak RSS. Cells run with -parallel 1 so the comparison isolates the
+    # DES sharding from the Runner's own cell parallelism; the sharded
+    # pass also spills trace arenas to exercise the bounded-memory path.
+    OUTDIR=${OUTDIR:-bench.out}
+    SHARDS=${SHARDS:-8}
+    mkdir -p "$OUTDIR"
+
+    echo "bench.sh: scale sweep, shards=1 baseline" >&2
+    go run ./cmd/experiments -scale -parallel 1 -shards 1 \
+        -jsonl "$OUTDIR/scale_shards1.jsonl" -scale-stats \
+        > /dev/null 2> "$OUTDIR/scale_shards1.stats"
+    echo "bench.sh: scale sweep, shards=$SHARDS with spill" >&2
+    go run ./cmd/experiments -scale -parallel 1 -shards "$SHARDS" \
+        -spill-dir "$OUTDIR/spill" -spill-threshold 16384 \
+        -jsonl "$OUTDIR/scale_sharded.jsonl" -scale-stats \
+        > /dev/null 2> "$OUTDIR/scale_sharded.stats"
+
+    # "scale-stats: events=N wall=W events_per_sec=E peak_rss_kb=R" -> JSON
+    parse_stats() {
+        grep '^scale-stats:' "$1" | tr ' ' '\n' | grep '=' | \
+            jq -Rn '[inputs | split("=") | {(.[0]): (.[1] | tonumber? // .)}] | add'
+    }
+
+    jq -n \
+        --arg date "$(date +%Y-%m-%d)" \
+        --arg go "$(go env GOVERSION)" \
+        --arg goos "$(go env GOOS)" \
+        --arg goarch "$(go env GOARCH)" \
+        --argjson shards "$SHARDS" \
+        --argjson ncpu "$(getconf _NPROCESSORS_ONLN)" \
+        --argjson s1 "$(parse_stats "$OUTDIR/scale_shards1.stats")" \
+        --argjson sN "$(parse_stats "$OUTDIR/scale_sharded.stats")" \
+        --slurpfile a "$OUTDIR/scale_shards1.jsonl" \
+        --slurpfile b "$OUTDIR/scale_sharded.jsonl" \
+        '{pr: 6,
+          title: "Sharded DES scale sweep with streaming trace spill",
+          date: $date, go: $go, goos: $goos, goarch: $goarch, host_cpus: $ncpu,
+          commands: [
+            "experiments -scale -parallel 1 -shards 1 -scale-stats",
+            "experiments -scale -parallel 1 -shards \($shards) -spill-dir spill -scale-stats"
+          ],
+          shards: $shards,
+          aggregate: {shards1: $s1, sharded: $sN},
+          cells: [ $a[] | . as $x |
+            ($b[] | select(.series == $x.series and .cpus == $x.cpus)) as $y |
+            {series: $x.series, ranks: $x.cpus, events: $x.events,
+             sim_s: $x.sim_s,
+             wall_ms_shards1: ($x.wall_ms | round),
+             wall_ms_sharded: ($y.wall_ms | round),
+             speedup: (if $y.wall_ms > 0
+                       then (($x.wall_ms / $y.wall_ms) * 100 | round / 100)
+                       else null end)} ]}' \
+        > "$OUTDIR/BENCH_PR6.json"
+    echo "bench.sh: wrote $OUTDIR/BENCH_PR6.json" >&2
+    jq . "$OUTDIR/BENCH_PR6.json"
+    exit 0
+fi
+
 if [ "${1:-}" = "-s" ]; then
     # Smoke: prove the benchmarks still compile and run. One iteration,
     # fastest cells only; output is discarded, failure propagates.

@@ -18,6 +18,12 @@ go test -race -run 'TestSupervised|TestStore|TestFailure|TestRetry' ./internal/e
 # Race pass over the fault injector and the DPCL retry/backoff path.
 go test -race ./internal/fault/ ./internal/dpcl/
 
+# Race pass over the sharded scheduler (des.Cluster's window workers are
+# real host concurrency) and the scale cells driving it, including the
+# spilling trace collectors.
+go test -race -run 'TestCluster|TestSingleShardMatchesSerial|TestCast' ./internal/des/
+go test -race -run 'TestScale|TestSpill' ./internal/exp/ ./internal/vt/
+
 # End-to-end fault smoke (guarded by -short elsewhere): a run with every
 # fault class enabled must terminate via timeout degradation.
 go test -run TestFaultSmoke ./internal/exp/
@@ -44,3 +50,11 @@ wait "$pid" 2>/dev/null || true
 "$smoke/experiments" -fig7a -fig8a -max-cpus 8 -cache-dir "$smoke/cache" \
     -resume > "$smoke/resumed.txt"
 cmp "$smoke/baseline.txt" "$smoke/resumed.txt"
+
+# Scale smoke: the 1k-rank cells of the sharded sweep must render the
+# same bytes unsharded and sharded-with-spill (shard-count invariance of
+# the skeletons, end to end through the CLI).
+"$smoke/experiments" -scale -max-cpus 1024 -shards 1 > "$smoke/scale1.txt"
+"$smoke/experiments" -scale -max-cpus 1024 -shards 8 \
+    -spill-dir "$smoke/spill" -spill-threshold 1024 > "$smoke/scale8.txt"
+cmp "$smoke/scale1.txt" "$smoke/scale8.txt"
