@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -30,6 +31,7 @@ import (
 	"dynprof/internal/des"
 	"dynprof/internal/guide"
 	"dynprof/internal/machine"
+	"dynprof/internal/serve"
 	"dynprof/internal/vgv"
 )
 
@@ -46,8 +48,35 @@ func run() error {
 	seed := flag.Uint64("seed", 2003, "simulation seed")
 	trace := flag.String("trace", "", "write the run's trace to this file")
 	report := flag.Bool("report", false, "print a postmortem profile after the run")
+	serveAddr := flag.String("serve", "", "run the multi-tenant session server on ADDR (host:port); positional args name the resident jobs")
+	maxSessions := flag.Int("max-sessions", 64, "serve mode: concurrently admitted sessions")
+	maxQueue := flag.Int("max-queue", -1, "serve mode: admission queue bound (<0 unbounded, 0 reject when full)")
+	maxProbes := flag.Int("max-probes", 0, "serve mode: per-session probe quota (0 = unlimited)")
+	maxTrace := flag.Int64("max-trace-bytes", 0, "serve mode: per-session trace-byte quota (0 = unlimited)")
+	maxOps := flag.Float64("max-ops-per-sec", 0, "serve mode: per-session control-op rate quota in virtual time (0 = unlimited)")
 	flag.Parse()
 	args := flag.Args()
+	if *serveAddr != "" {
+		mach, err := pickMachine(*machName)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			return err
+		}
+		return serveJobs(ln, serve.Config{
+			Machine:     mach,
+			MaxSessions: *maxSessions,
+			MaxQueue:    *maxQueue,
+			DefaultQuota: serve.Quota{
+				MaxProbes:     *maxProbes,
+				MaxTraceBytes: *maxTrace,
+				MaxCtrlPerSec: *maxOps,
+			},
+			Output: os.Stdout,
+		}, *seed, *procs, args)
+	}
 	if len(args) < 4 {
 		return fmt.Errorf("usage: dynprof [flags] <stdin> <stdout> <timefile> <target> [key=val ...]")
 	}
@@ -153,6 +182,26 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// serveJobs runs the multi-tenant session server: one synthetic resident
+// job per name, each on its own node range, serving the line protocol on
+// ln until a client issues shutdown.
+func serveJobs(ln net.Listener, cfg serve.Config, seed uint64, procs int, jobs []string) error {
+	defer ln.Close()
+	if len(jobs) == 0 {
+		return fmt.Errorf("usage: dynprof -serve ADDR [flags] <job> [job ...]")
+	}
+	s := des.NewScheduler(seed)
+	sv := serve.New(s, cfg)
+	for _, name := range jobs {
+		if _, err := sv.RegisterResident(name, procs, nil); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dynprof: serving %s (jobs: %s; %d ranks each)\n",
+		ln.Addr(), strings.Join(jobs, ", "), procs)
+	return serve.NewBridge(sv, ln).Serve()
 }
 
 func pickMachine(name string) (*machine.Config, error) {

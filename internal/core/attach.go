@@ -22,6 +22,32 @@ import (
 // path enforces with the Figure 6 callback): instrumentation inserted
 // before VT is ready could call into an uninitialised library.
 func AttachSession(p *des.Proc, mach *machine.Config, job *guide.Job, out io.Writer) (*Session, error) {
+	return AttachSessionWith(p, mach, job, AttachConfig{Output: out})
+}
+
+// AttachConfig parameterises AttachSessionWith for multi-tenant use. The
+// zero value reproduces AttachSession exactly.
+type AttachConfig struct {
+	// System is the DPCL installation to connect through. Nil creates a
+	// private System, the single-tool model; a session server passes its
+	// shared System so all tenants' control traffic meets at the same
+	// per-node daemons.
+	System *dpcl.System
+	// User is the DPCL user name ("dynprof-attach" if empty). Distinct
+	// users get distinct communication daemons on each node.
+	User string
+	// Output receives command responses (discarded if nil).
+	Output io.Writer
+	// OnTrace, when non-nil, observes every probe-generated trace event at
+	// snippet granularity (events is always 1 per call today). Quota
+	// accounting hooks in here.
+	OnTrace func(events int)
+}
+
+// AttachSessionWith is AttachSession with an explicit AttachConfig; see
+// AttachSession for the attachment semantics.
+func AttachSessionWith(p *des.Proc, mach *machine.Config, job *guide.Job, acfg AttachConfig) (*Session, error) {
+	out := acfg.Output
 	if out == nil {
 		out = io.Discard
 	}
@@ -34,21 +60,30 @@ func AttachSession(p *des.Proc, mach *machine.Config, job *guide.Job, out io.Wri
 		}
 	}
 	s := p.Scheduler()
+	sys := acfg.System
+	if sys == nil {
+		sys = dpcl.NewSystem(s, mach)
+	}
+	user := acfg.User
+	if user == "" {
+		user = "dynprof-attach"
+	}
 	ss := &Session{
 		cfg:          Config{Machine: mach, Output: out},
 		s:            s,
-		sys:          dpcl.NewSystem(s, mach),
+		sys:          sys,
 		bin:          job.Binary(),
 		job:          job,
 		tf:           NewTimefile(),
 		out:          out,
 		installed:    make(map[string][]*dpcl.Probe),
+		onTrace:      acfg.OnTrace,
 		sessionStart: p.Now(),
 		started:      true,
 		ready:        true, // the library is initialised; inserts go live
 	}
 	stop := ss.tf.Begin("attach", p.Now())
-	ss.cl = ss.sys.Connect("dynprof-attach")
+	ss.cl = ss.sys.Connect(user)
 	ss.cl.Attach(p, job.Processes())
 	stop(p.Now())
 	ss.readyAt = p.Now()

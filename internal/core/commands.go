@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -9,6 +10,12 @@ import (
 
 	"dynprof/internal/des"
 )
+
+// ErrUnknownCommand marks the error Exec returns for a command outside
+// Table 1. Unlike a failed insert (which a script may tolerate and carry
+// on), an unknown command means the script itself is wrong, so RunScript
+// treats it as fatal; session clients match it with errors.Is.
+var ErrUnknownCommand = errors.New("unknown command")
 
 // helpText is Table 1: the commands accepted by the dynprof tool.
 const helpText = `dynprof commands:
@@ -110,7 +117,7 @@ func (ss *Session) Exec(p *des.Proc, line string) (done bool, err error) {
 		p.Advance(des.FromSeconds(secs))
 		return false, nil
 	default:
-		return false, fmt.Errorf("dynprof: unknown command %q (try help)", fields[0])
+		return false, fmt.Errorf("dynprof: %w %q (try help)", ErrUnknownCommand, fields[0])
 	}
 }
 
@@ -135,12 +142,22 @@ func (ss *Session) readFuncFiles(files []string) ([]string, error) {
 // users to write instrumentation scripts... a user can prepare a text file
 // that includes commands, and direct this file into dynprof"). It stops at
 // quit or end of input; a session still attached at end of input is quit.
+//
+// Command failures (a misspelled function name, a missing file) are
+// reported and the script carries on — the interactive model. An unknown
+// command, however, aborts the script with ErrUnknownCommand: silently
+// skipping it would let a typo'd script run to completion looking
+// successful. The session is quit first so the target is not orphaned.
 func (ss *Session) RunScript(p *des.Proc, r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		done, err := ss.Exec(p, sc.Text())
 		if err != nil {
 			fmt.Fprintf(ss.out, "%v\n", err)
+			if errors.Is(err, ErrUnknownCommand) {
+				ss.Quit(p)
+				return err
+			}
 		}
 		if done {
 			return sc.Err()

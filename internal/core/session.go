@@ -49,6 +49,11 @@ type Config struct {
 	// Files holds the contents of script-visible files, keyed by name,
 	// for the insert-file and remove-file commands.
 	Files map[string]string
+	// OnSession, when non-nil, observes the Session as soon as the struct
+	// exists — before the target is launched or DPCL attached. Supervisors
+	// use it to keep a Teardown handle for sessions whose NewSession is
+	// aborted mid-flight by a scheduler abort.
+	OnSession func(*Session)
 }
 
 // Session is a live dynprof instance. All methods must be called from the
@@ -68,6 +73,7 @@ type Session struct {
 	installed   map[string][]*dpcl.Probe
 	spins       []*des.Gate
 	initProbe   []*dpcl.Probe
+	onTrace     func(events int) // observes probe-generated trace events
 	started     bool
 	ready       bool // init callback handled, spins released
 	quit        bool
@@ -100,6 +106,9 @@ func NewSession(p *des.Proc, cfg Config) (*Session, error) {
 		installed:    make(map[string][]*dpcl.Probe),
 		sessionStart: p.Now(),
 	}
+	if cfg.OnSession != nil {
+		cfg.OnSession(ss)
+	}
 	stop := ss.tf.Begin("create", p.Now())
 
 	job, err := guide.Launch(s, cfg.Machine, bin, guide.LaunchOpts{
@@ -131,6 +140,10 @@ func NewSession(p *des.Proc, cfg Config) (*Session, error) {
 
 // Job exposes the launched target.
 func (ss *Session) Job() *guide.Job { return ss.job }
+
+// System exposes the DPCL installation the session instruments through
+// (shared between sessions in multi-tenant configurations).
+func (ss *Session) System() *dpcl.System { return ss.sys }
 
 // Faults merges the fault events of the target job and of the DPCL
 // control network, in time order; empty on fault-free machines.
@@ -248,7 +261,7 @@ func (ss *Session) installFunc(p *des.Proc, f string) error {
 		func(pr *proc.Process) image.Snippet {
 			v := ss.job.VT(ss.vtIndex(pr))
 			fid := v.FuncDef(f)
-			return v.BeginSnippet(fid)
+			return ss.meter(v.BeginSnippet(fid))
 		})
 	if err != nil {
 		return err
@@ -259,7 +272,7 @@ func (ss *Session) installFunc(p *des.Proc, f string) error {
 			func(pr *proc.Process) image.Snippet {
 				v := ss.job.VT(ss.vtIndex(pr))
 				fid := v.FuncDef(f)
-				return v.EndSnippet(fid)
+				return ss.meter(v.EndSnippet(fid))
 			})
 		if err != nil {
 			return err
@@ -273,6 +286,20 @@ func (ss *Session) installFunc(p *des.Proc, f string) error {
 	}
 	ss.installed[f] = probes
 	return nil
+}
+
+// meter wraps a probe snippet with the session's trace observer: each
+// Begin/End snippet execution records exactly one VT trace event, so quota
+// accounting charges onTrace(1) per firing. Without an observer the snippet
+// is returned unwrapped — the single-tool fast path.
+func (ss *Session) meter(sn image.Snippet) image.Snippet {
+	if ss.onTrace == nil {
+		return sn
+	}
+	return func(ec image.ExecCtx) {
+		sn(ec)
+		ss.onTrace(1)
+	}
 }
 
 // vtIndex maps a process to its library-instance index in the job.
@@ -321,6 +348,28 @@ func (ss *Session) Remove(p *des.Proc, funcs ...string) error {
 		delete(ss.installed, f)
 	}
 	return firstErr
+}
+
+// ProbeCount reports the number of probes the session currently holds
+// installed (entry plus exits, across all instrumented functions) — the
+// quantity a per-session probe quota bounds.
+func (ss *Session) ProbeCount() int {
+	n := 0
+	for _, probes := range ss.installed {
+		n += len(probes)
+	}
+	return n
+}
+
+// RemoveAll removes every probe the session has installed (the eviction
+// path): one suspend/patch/resume cycle over the full probe set. A session
+// with nothing installed pays nothing.
+func (ss *Session) RemoveAll(p *des.Proc) error {
+	names := ss.Instrumented()
+	if len(names) == 0 {
+		return nil
+	}
+	return ss.Remove(p, names...)
 }
 
 // Instrumented returns the currently instrumented functions, sorted.
@@ -397,7 +446,12 @@ func (ss *Session) Teardown() {
 		return
 	}
 	ss.quit = true
-	ss.cl.Disconnect()
+	if ss.cl != nil {
+		// cl is nil when NewSession was aborted between construction and
+		// DPCL attach (an OnSession handle to a half-built session); there
+		// is nothing to disconnect yet.
+		ss.cl.Disconnect()
+	}
 }
 
 // WaitAppExit blocks until the target finishes.

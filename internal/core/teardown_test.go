@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dynprof/internal/des"
+	"dynprof/internal/machine"
+)
+
+// TestTeardownMidAttach aborts a session at many points between DPCL
+// connect and probe install (by sweeping the DES event budget) and checks
+// that Teardown on the half-built session neither leaks communication
+// daemons nor panics. The OnSession hook is how a supervisor keeps a
+// Teardown handle on a session whose NewSession never returned.
+func TestTeardownMidAttach(t *testing.T) {
+	// Budgets straddle every phase of NewSession: the first events of the
+	// create phase, mid-attach daemon creation, init-probe install, and
+	// (largest) a run that completes normally before the budget bites.
+	for _, maxEvents := range []uint64{1, 10, 100, 1_000, 5_000, 200_000} {
+		s := des.NewScheduler(17, des.WithBudget(des.Budget{MaxEvents: maxEvents}))
+		var captured *Session
+		s.Spawn("dynprof", func(p *des.Proc) {
+			ss, err := NewSession(p, Config{
+				Machine:   machine.MustNew("ibm-power3"),
+				App:       toyMPI(),
+				Procs:     4,
+				OnSession: func(x *Session) { captured = x },
+			})
+			if err != nil {
+				t.Errorf("budget %d: NewSession: %v", maxEvents, err)
+				return
+			}
+			if err := ss.RunScript(p, strings.NewReader("insert toy_compute\nstart\nquit\n")); err != nil {
+				t.Errorf("budget %d: script: %v", maxEvents, err)
+			}
+		})
+		err := s.Run()
+		if _, live := err.(*des.LivelockError); err != nil && !live {
+			t.Fatalf("budget %d: Run = %v, want nil or *LivelockError", maxEvents, err)
+		}
+		if captured == nil {
+			t.Fatalf("budget %d: OnSession never fired", maxEvents)
+		}
+		// Teardown from plain host code (every Proc is unwound by now):
+		// idempotent, and it must reclaim whatever daemons the aborted
+		// attach had created.
+		captured.Teardown()
+		captured.Teardown()
+		if n := captured.System().CommDaemons(); n != 0 {
+			t.Errorf("budget %d: %d comm daemon(s) leaked after Teardown", maxEvents, n)
+		}
+	}
+}
+
+// TestTeardownBeforeAttach exercises the narrowest window: a session
+// aborted during the create phase, before the DPCL client exists. Teardown
+// must cope with the nil client.
+func TestTeardownBeforeAttach(t *testing.T) {
+	s := des.NewScheduler(17, des.WithBudget(des.Budget{MaxEvents: 1}))
+	var captured *Session
+	s.Spawn("dynprof", func(p *des.Proc) {
+		_, _ = NewSession(p, Config{
+			Machine:   machine.MustNew("ibm-power3"),
+			App:       toyMPI(),
+			Procs:     2,
+			OnSession: func(x *Session) { captured = x },
+		})
+	})
+	if _, live := s.Run().(*des.LivelockError); !live {
+		t.Fatal("run was not aborted by the one-event budget")
+	}
+	if captured == nil {
+		t.Fatal("OnSession never fired")
+	}
+	captured.Teardown() // must not panic on the nil client
+	if n := captured.System().CommDaemons(); n != 0 {
+		t.Errorf("%d comm daemon(s) exist before attach ever ran", n)
+	}
+}

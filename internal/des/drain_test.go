@@ -1,0 +1,80 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDrainKeepsSimulationLive checks the interactive-bridge contract: a
+// Drain that empties the queue leaves parked Procs resumable, host code may
+// schedule more events between drains, and Finish tears everything down.
+func TestDrainKeepsSimulationLive(t *testing.T) {
+	s := NewScheduler(1)
+	gate := NewGate("go", false)
+	var phase int
+	s.Spawn("worker", func(p *Proc) {
+		phase = 1
+		p.Await(gate)
+		p.Advance(Time(time.Millisecond))
+		phase = 2
+	})
+
+	if err := s.Drain(); err != nil {
+		t.Fatalf("first drain: %v", err)
+	}
+	if phase != 1 {
+		t.Fatalf("phase = %d after first drain, want 1 (worker parked on gate)", phase)
+	}
+
+	// Host code between drains wakes the worker; the next drain runs it to
+	// completion without the first drain having aborted it.
+	s.At(s.Now(), func() { gate.Set(true) })
+	if err := s.Drain(); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	if phase != 2 {
+		t.Fatalf("phase = %d after second drain, want 2", phase)
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+}
+
+// TestDrainUntilStopsEarly checks the per-command predicate: the drain must
+// return as soon as the predicate fires, leaving later events queued.
+func TestDrainUntilStopsEarly(t *testing.T) {
+	s := NewScheduler(1)
+	var hit bool
+	s.After(Time(time.Millisecond), func() { hit = true })
+	s.After(Time(time.Second), func() {
+		t.Error("second event ran; DrainUntil should have stopped first")
+	})
+	if err := s.DrainUntil(func() bool { return hit }); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !hit {
+		t.Fatal("predicate event did not run")
+	}
+	if s.pending() == 0 {
+		t.Fatal("later event was consumed; DrainUntil should have left it queued")
+	}
+	s.Stop()
+	if err := s.Finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+}
+
+// TestFinishReportsDeadlock checks that deferring deadlock detection to
+// Finish still reports Procs nothing can wake.
+func TestFinishReportsDeadlock(t *testing.T) {
+	s := NewScheduler(1)
+	gate := NewGate("never", false)
+	s.Spawn("stuck", func(p *Proc) { p.Await(gate) })
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	err := s.Finish()
+	if _, ok := err.(*DeadlockError); !ok {
+		t.Fatalf("Finish = %v, want *DeadlockError", err)
+	}
+}

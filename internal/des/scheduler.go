@@ -293,6 +293,26 @@ func (e *DeadlockError) Error() string {
 // otherwise. A panic raised inside a Proc is re-raised here as a typed
 // *ProcPanicError carrying the original panic value and stack.
 func (s *Scheduler) Run() error {
+	if err := s.Drain(); err != nil {
+		return err
+	}
+	return s.Finish()
+}
+
+// Drain executes events until the queue is empty or Stop is called, leaving
+// the simulation intact: parked Procs stay parked and more events may be
+// scheduled afterwards (from host code between drains — an interactive
+// bridge pumping one command at a time). Only budget exhaustion returns an
+// error, and that error is terminal: livelocked() has already aborted every
+// Proc. Deadlock detection is deferred to Finish, because Procs blocked at
+// the end of a drain may legitimately be woken by a later drain.
+func (s *Scheduler) Drain() error { return s.DrainUntil(nil) }
+
+// DrainUntil is Drain with an early-exit predicate: after each event, if
+// done is non-nil and returns true, DrainUntil returns immediately with the
+// queue and Procs intact. Used to run the simulation just far enough for
+// one request to complete.
+func (s *Scheduler) DrainUntil(done func() bool) error {
 	for s.pending() > 0 && !s.stopped {
 		if s.exhausted() {
 			return s.livelocked()
@@ -310,7 +330,18 @@ func (s *Scheduler) Run() error {
 			s.abortAll()
 			panic(f)
 		}
+		if done != nil && done() {
+			return nil
+		}
 	}
+	return nil
+}
+
+// Finish tears the simulation down after a final Drain: every parked Proc
+// is aborted so its goroutine exits, and a *DeadlockError reports any
+// non-daemon Procs that were still blocked with nothing left to wake them
+// (unless Stop was called, which makes blocked Procs expected).
+func (s *Scheduler) Finish() error {
 	var blocked []string
 	for _, p := range s.procs {
 		if !p.done && p.started && !p.daemon {
@@ -326,6 +357,9 @@ func (s *Scheduler) Run() error {
 	}
 	return nil
 }
+
+// Executed reports the number of events executed so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
 
 // abortAll resumes every parked proc with the abort flag so its goroutine
 // unwinds and exits. Used on the Stop, deadlock, budget-exhaustion and

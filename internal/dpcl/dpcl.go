@@ -55,6 +55,16 @@ func CreateCost(nodes, procs int) des.Time {
 	return createBase + des.Time(nodes)*createPerNode + des.Time(procs)*createPerProc
 }
 
+// ServeGate arbitrates daemon service time between users sharing a node.
+// When set on a System, every costed daemon-side action passes through
+// Serve instead of a plain Advance: the gate decides when the daemon Proc
+// actually spends the cost (e.g. weighted round-robin between tenants), and
+// must advance p by cost before returning. A nil gate is the single-tenant
+// model: first-come first-served per daemon, no cross-user arbitration.
+type ServeGate interface {
+	Serve(p *des.Proc, node int, user, kind string, cost des.Time)
+}
+
 // System is the DPCL installation on a machine: the set of super daemons.
 type System struct {
 	s      *des.Scheduler
@@ -65,6 +75,12 @@ type System struct {
 	// extra delay). Nil on a fault-free machine, in which case every path
 	// below is exactly the pre-fault model.
 	inj *fault.Injector
+	// gate, when non-nil, fair-schedules daemon service time between the
+	// users sharing each node (see ServeGate).
+	gate ServeGate
+	// reclaim makes a shutting-down comm daemon release the suspends it
+	// applied but never saw resumed (see SetSuspendReclaim).
+	reclaim bool
 }
 
 // NewSystem starts DPCL on the machine (super daemons are materialised
@@ -80,6 +96,31 @@ func NewSystem(s *des.Scheduler, mach *machine.Config) *System {
 // Faults returns the system's fault injector (nil on a fault-free
 // machine); its event log records drops, retries and timeouts.
 func (sys *System) Faults() *fault.Injector { return sys.inj }
+
+// SetServeGate installs g as the system's daemon-time arbiter. Must be set
+// before daemons start serving costed requests; a nil g restores the
+// ungated single-tenant model.
+func (sys *System) SetServeGate(g ServeGate) { sys.gate = g }
+
+// SetSuspendReclaim controls whether a comm daemon, on shutdown, resumes
+// the target processes it suspended but never resumed. On a lossy control
+// path a client's unacknowledged resume can vanish, stranding a suspended
+// process; the daemon is node-local to the target, so its own bookkeeping
+// survives the lossy client link. Multi-tenant servers enable this so
+// evicting a faulted session cannot wedge the job for the remaining
+// tenants. Off by default: the single-tool model keeps DPCL's historical
+// semantics (and its exact event stream).
+func (sys *System) SetSuspendReclaim(on bool) { sys.reclaim = on }
+
+// CommDaemons reports the number of live communication daemons across all
+// super daemons — the resource eviction must reclaim.
+func (sys *System) CommDaemons() int {
+	n := 0
+	for _, sd := range sys.supers {
+		n += len(sd.comms)
+	}
+	return n
+}
 
 // superDaemon is the per-node root daemon ("there is exactly one super
 // daemon on each node of the system").
@@ -107,6 +148,11 @@ type commDaemon struct {
 	// individual messages see jittered latency, but they cannot overtake
 	// one another (the connection is a stream).
 	lastArrive des.Time
+	// suspended tracks, per target, suspends this daemon applied minus
+	// resumes it applied (only under SetSuspendReclaim); suspOrder keeps
+	// release order deterministic.
+	suspended map[*proc.Process]int
+	suspOrder []*proc.Process
 }
 
 // deliver schedules m's arrival at the daemon after a jittered latency,
@@ -170,6 +216,7 @@ func (d *commDaemon) serve(p *des.Proc) {
 	for {
 		m := p.Recv(d.inbox)
 		if _, stop := m.(shutdownReq); stop {
+			d.releaseSuspends()
 			return
 		}
 		req := m.(*request)
@@ -178,10 +225,17 @@ func (d *commDaemon) serve(p *des.Proc) {
 			continue
 		}
 		if req.cost > 0 {
-			p.Advance(req.cost)
+			if g := d.sys.gate; g != nil {
+				g.Serve(p, d.node, d.user, req.kind, req.cost)
+			} else {
+				p.Advance(req.cost)
+			}
 		}
 		if req.run != nil {
 			req.run(p)
+		}
+		if d.sys.reclaim {
+			d.trackSuspend(req)
 		}
 		if d.sys.inj != nil {
 			if done == nil {
@@ -191,6 +245,40 @@ func (d *commDaemon) serve(p *des.Proc) {
 		}
 		d.ackTo(req)
 	}
+}
+
+// trackSuspend maintains the daemon's suspend balance per target (under
+// SetSuspendReclaim). Retransmitted requests never reach here: the done
+// map re-acks them without re-execution.
+func (d *commDaemon) trackSuspend(req *request) {
+	switch req.kind {
+	case "suspend":
+		if d.suspended == nil {
+			d.suspended = make(map[*proc.Process]int)
+		}
+		if d.suspended[req.target] == 0 {
+			d.suspOrder = append(d.suspOrder, req.target)
+		}
+		d.suspended[req.target]++
+	case "resume":
+		if d.suspended[req.target] > 0 {
+			d.suspended[req.target]--
+		}
+	}
+}
+
+// releaseSuspends resumes every target this daemon still holds suspended,
+// in first-suspended order. Runs at daemon shutdown: the daemon shares the
+// node with its targets, so the release cannot be lost to control faults
+// the way a client's resume message can.
+func (d *commDaemon) releaseSuspends() {
+	for _, pr := range d.suspOrder {
+		for n := d.suspended[pr]; n > 0; n-- {
+			pr.Resume()
+		}
+	}
+	d.suspended = nil
+	d.suspOrder = nil
 }
 
 // ackTo sends the acknowledgement back to the client with its own jitter;
@@ -368,14 +456,24 @@ func (cl *Client) collect(p *des.Proc, pending []pendingAck) error {
 // are active remain active: quitting dynprof "will cause the instrumenter
 // to detach from the application; all instrumentation that is active
 // prior to quitting will remain active".
+//
+// Disconnect is idempotent, and it only tears down daemons this client
+// still owns: if the super daemon's registry holds a different daemon for
+// the user (a later client of the same user reconnected after this one
+// disconnected), that replacement is left untouched.
 func (cl *Client) Disconnect() {
 	seen := make(map[*commDaemon]bool)
 	for node, d := range cl.byNode {
-		if !seen[d] {
-			seen[d] = true
-			d.deliver(shutdownReq{})
+		if seen[d] {
+			continue
 		}
-		delete(cl.sys.super(node).comms, cl.user)
+		seen[d] = true
+		sd := cl.sys.super(node)
+		if sd.comms[cl.user] != d {
+			continue // superseded by a reconnect; not ours to kill
+		}
+		d.deliver(shutdownReq{})
+		delete(sd.comms, cl.user)
 	}
 	cl.byNode = make(map[int]*commDaemon)
 }

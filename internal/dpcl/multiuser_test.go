@@ -40,6 +40,66 @@ func TestOneCommDaemonPerUser(t *testing.T) {
 	}
 }
 
+// TestDisconnectFreesCommDaemon checks the teardown half of Figure 5's
+// lifecycle, which eviction in the session server relies on: Disconnect
+// removes the per-user comm daemon from the super daemon, is idempotent,
+// and a stale client cannot kill a replacement daemon created by a later
+// client of the same user.
+func TestDisconnectFreesCommDaemon(t *testing.T) {
+	r := newRig(t, 2) // both targets on node 0
+	r.idle(des.Millisecond)
+	r.s.Spawn("tools", func(p *des.Proc) {
+		sd := r.sys.super(0)
+		alice := r.sys.Connect("alice")
+		alice.Attach(p, r.procs)
+		bob := r.sys.Connect("bob")
+		bob.Attach(p, r.procs)
+		if got := r.sys.CommDaemons(); got != 2 {
+			t.Fatalf("CommDaemons() = %d after two attaches, want 2", got)
+		}
+
+		alice.Disconnect()
+		if len(sd.comms) != 1 {
+			t.Errorf("comms = %d after alice disconnects, want 1 (bob's)", len(sd.comms))
+		}
+		if _, ok := sd.comms["alice"]; ok {
+			t.Error("alice's comm daemon still registered after Disconnect")
+		}
+		alice.Disconnect() // idempotent: no panic, no effect on bob
+		if len(sd.comms) != 1 {
+			t.Errorf("comms = %d after double disconnect, want 1", len(sd.comms))
+		}
+
+		// Ownership: alice1 and alice2 share one daemon. alice1's
+		// disconnect frees it; a third client then creates a replacement,
+		// and the stale alice2 handle must not tear that replacement down.
+		alice1 := r.sys.Connect("alice")
+		alice1.Attach(p, r.procs)
+		alice2 := r.sys.Connect("alice")
+		alice2.Attach(p, r.procs)
+		if len(sd.comms) != 2 {
+			t.Fatalf("comms = %d with alice back and bob, want 2", len(sd.comms))
+		}
+		alice1.Disconnect()
+		alice3 := r.sys.Connect("alice")
+		alice3.Attach(p, r.procs)
+		replacement := sd.comms["alice"]
+		alice2.Disconnect() // stale: its daemon is gone, replacement is not its
+		if sd.comms["alice"] != replacement {
+			t.Error("stale client's Disconnect killed the replacement daemon")
+		}
+
+		alice3.Disconnect()
+		bob.Disconnect()
+		if got := r.sys.CommDaemons(); got != 0 {
+			t.Errorf("CommDaemons() = %d after all disconnects, want 0", got)
+		}
+	})
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestTwoUsersInstrumentIndependently: two instrumenters chain probes at
 // the same point; each removes its own without disturbing the other's.
 func TestTwoUsersInstrumentIndependently(t *testing.T) {

@@ -62,6 +62,9 @@ func planFor(id string, opts Options) (*figurePlan, error) {
 		// the default sweep and its goldens are unchanged by the scale
 		// figure's existence.
 		return planScale(opts), nil
+	case "tenants":
+		// Also on demand only, for the same reason as "scale".
+		return planTenants(opts), nil
 	default:
 		return nil, fmt.Errorf("exp: unknown figure %q (have %v)", id, FigureIDs())
 	}
@@ -407,13 +410,18 @@ func virtualOf(val any) des.Time {
 		return v.Elapsed
 	case ScaleResult:
 		return v.Elapsed
+	case TenantsResult:
+		return v.Elapsed
 	}
 	return 0
 }
 
 // eventsOf extracts a cell result's DES event count, when reported.
 func eventsOf(val any) uint64 {
-	if v, ok := val.(ScaleResult); ok {
+	switch v := val.(type) {
+	case ScaleResult:
+		return v.Events
+	case TenantsResult:
 		return v.Events
 	}
 	return 0

@@ -22,6 +22,7 @@ type storeRecord struct {
 	ConfSync *ConfSyncResult `json:"confsync,omitempty"`
 	Hybrid   *HybridResult   `json:"hybrid,omitempty"`
 	Scale    *ScaleResult    `json:"scale,omitempty"`
+	Tenants  *TenantsResult  `json:"tenants,omitempty"`
 }
 
 // value returns the record's typed result.
@@ -35,6 +36,8 @@ func (rec *storeRecord) value() (any, error) {
 		return *rec.Hybrid, nil
 	case rec.Scale != nil:
 		return *rec.Scale, nil
+	case rec.Tenants != nil:
+		return *rec.Tenants, nil
 	}
 	return nil, fmt.Errorf("exp: store record %q carries no result", rec.Key)
 }
@@ -138,6 +141,8 @@ func (st *Store) Put(key string, val any) error {
 		rec.Hybrid = &v
 	case ScaleResult:
 		rec.Scale = &v
+	case TenantsResult:
+		rec.Tenants = &v
 	default:
 		return fmt.Errorf("exp: store: unstorable cell result %T for %q", val, key)
 	}
@@ -190,6 +195,8 @@ func (st *Store) Compact() error {
 			rec.Hybrid = &v
 		case ScaleResult:
 			rec.Scale = &v
+		case TenantsResult:
+			rec.Tenants = &v
 		}
 		if err := enc.Encode(rec); err != nil {
 			tmp.Close()

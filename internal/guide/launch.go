@@ -27,6 +27,10 @@ type LaunchOpts struct {
 	// CountOnly drops trace event payloads while keeping costs and
 	// statistics (for large experiment sweeps).
 	CountOnly bool
+	// Node is the first node of the job's packed placement, so several
+	// jobs can occupy disjoint node ranges of one machine (MPI binaries
+	// only; OpenMP binaries always run on node 0).
+	Node int
 }
 
 // Job is a launched (possibly held) run of a binary on the machine.
@@ -45,6 +49,7 @@ type Job struct {
 	startGate  *des.Gate
 	released   bool
 	countOnly  bool
+	startNode  int
 	ompElapsed des.Time
 }
 
@@ -73,6 +78,7 @@ func Launch(s *des.Scheduler, mach *machine.Config, bin *Binary, opts LaunchOpts
 		startGate: des.NewGate(bin.app.Name+".start", !opts.Hold),
 		released:  !opts.Hold,
 		countOnly: opts.CountOnly,
+		startNode: opts.Node,
 	}
 	if plan := mach.FaultPlan(); !plan.IsZero() {
 		if err := plan.Validate(); err != nil {
@@ -153,7 +159,7 @@ func (j *Job) attachOpts(mpiJob bool) []vt.AttachOption {
 }
 
 func (j *Job) launchMPI(n int, args map[string]int) error {
-	place, err := machine.Pack(j.mach, n)
+	place, err := machine.PackFrom(j.mach, n, j.startNode)
 	if err != nil {
 		return err
 	}
@@ -250,6 +256,17 @@ func (j *Job) Processes() []*proc.Process { return j.procs }
 
 // VT returns process i's instrumentation library instance.
 func (j *Job) VT(i int) *vt.Ctx { return j.vts[i] }
+
+// VTReady reports whether every process's instrumentation library has
+// initialised — the point after which a tool may attach to the running job.
+func (j *Job) VTReady() bool {
+	for _, v := range j.vts {
+		if !v.Ready() {
+			return false
+		}
+	}
+	return true
+}
 
 // World returns the MPI world, or nil for an OpenMP binary.
 func (j *Job) World() *mpi.World { return j.world }

@@ -131,16 +131,25 @@ type Placement struct {
 
 // Pack places n ranks on the machine in packed (block) order, filling each
 // node's CPUs before moving to the next node — POE's default allocation.
-func Pack(cfg *Config, n int) (*Placement, error) {
+func Pack(cfg *Config, n int) (*Placement, error) { return PackFrom(cfg, n, 0) }
+
+// PackFrom is Pack starting at the given first node, so several jobs can
+// occupy disjoint node ranges of one machine — a batch scheduler's
+// placement of concurrent jobs.
+func PackFrom(cfg *Config, n, node int) (*Placement, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("machine: cannot place %d ranks", n)
 	}
-	if n > cfg.TotalCPUs() {
-		return nil, fmt.Errorf("machine: %d ranks exceed %d CPUs on %s", n, cfg.TotalCPUs(), cfg.Name)
+	if node < 0 || node >= cfg.Nodes {
+		return nil, fmt.Errorf("machine: start node %d out of range on %s (%d nodes)", node, cfg.Name, cfg.Nodes)
+	}
+	if n > (cfg.Nodes-node)*cfg.CPUsPerNode {
+		return nil, fmt.Errorf("machine: %d ranks from node %d exceed %d CPUs on %s",
+			n, node, cfg.TotalCPUs(), cfg.Name)
 	}
 	p := &Placement{cfg: cfg, slots: make([]Slot, n)}
 	for r := 0; r < n; r++ {
-		p.slots[r] = Slot{Node: r / cfg.CPUsPerNode, CPU: r % cfg.CPUsPerNode}
+		p.slots[r] = Slot{Node: node + r/cfg.CPUsPerNode, CPU: r % cfg.CPUsPerNode}
 	}
 	return p, nil
 }

@@ -43,7 +43,12 @@ type Process struct {
 
 	threads []*Thread
 
-	suspendReq bool
+	// suspends counts suspend requests in force. It is a count, not a
+	// flag, because several controllers (a multi-tenant session server's
+	// concurrent instrumenters) may hold overlapping suspend windows on
+	// one process: threads run only while the count is zero, so one
+	// controller's Resume cannot release another's patch window.
+	suspends   int
 	resumeGate *des.Gate
 	allStopped *des.Gate
 	notRunning int
@@ -179,35 +184,43 @@ func (pr *Process) WaitExit(p *des.Proc) { p.Await(pr.exitGate) }
 
 // RequestSuspend asks every thread to park at its next safe point. Threads
 // blocked in communication count as stopped (they cannot touch the image).
-// Use WaitStopped for DPCL's blocking suspend semantics.
+// Use WaitStopped for DPCL's blocking suspend semantics. Suspends nest:
+// each RequestSuspend must be balanced by one Resume, and threads run only
+// when no suspend remains in force — overlapping patch windows from
+// concurrent controllers therefore compose instead of releasing each other.
 func (pr *Process) RequestSuspend() {
-	if pr.suspendReq {
-		return
+	pr.suspends++
+	if pr.suspends > 1 {
+		return // already suspending; the new request stacks on top
 	}
-	pr.suspendReq = true
 	pr.resumeGate.Set(false)
 	pr.checkAllStopped()
 }
 
-// Resume releases all suspended threads.
+// Resume releases one suspend request; threads run again once every
+// outstanding request has been resumed. Resuming a process with no
+// suspend in force is a no-op.
 func (pr *Process) Resume() {
-	if !pr.suspendReq {
+	if pr.suspends == 0 {
 		return
 	}
-	pr.suspendReq = false
+	pr.suspends--
+	if pr.suspends > 0 {
+		return
+	}
 	pr.allStopped.Set(false)
 	pr.resumeGate.Set(true)
 }
 
 // Suspended reports whether a suspend is in force.
-func (pr *Process) Suspended() bool { return pr.suspendReq }
+func (pr *Process) Suspended() bool { return pr.suspends > 0 }
 
 // WaitStopped blocks p until every thread of the process is parked at a
 // safe point or blocked in communication — the guarantee of DPCL's
 // blocking suspend ("all threads are stopped before modifying the single
 // shared image").
 func (pr *Process) WaitStopped(p *des.Proc) {
-	if !pr.suspendReq {
+	if pr.suspends == 0 {
 		panic(fmt.Sprintf("proc %s: WaitStopped without RequestSuspend", pr.name))
 	}
 	p.Await(pr.allStopped)
@@ -220,7 +233,7 @@ func (pr *Process) checkAllStopped() {
 			live++
 		}
 	}
-	if pr.suspendReq && pr.notRunning >= live {
+	if pr.suspends > 0 && pr.notRunning >= live {
 		pr.allStopped.Set(true)
 	}
 }
@@ -356,7 +369,7 @@ func (t *Thread) Block(fn func(p *des.Proc)) {
 // SafePoint parks the thread if a suspend is pending. Call gates and
 // runtime layers invoke it at every point where stopping is safe.
 func (t *Thread) SafePoint() {
-	for t.proc.suspendReq {
+	for t.proc.suspends > 0 {
 		t.Sync()
 		start := t.p.Now()
 		t.proc.notRunning++

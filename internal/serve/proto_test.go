@@ -1,0 +1,111 @@
+package serve_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"dynprof/internal/des"
+	"dynprof/internal/machine"
+	"dynprof/internal/serve"
+)
+
+// TestProtoBridge drives the line protocol over real connections: two
+// sessions against a MaxSessions=1 server, so the second connection's open
+// queues until the first quits — the bridge must keep serving the first
+// connection while the second's handler is parked on the admission gate.
+func TestProtoBridge(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	s := des.NewScheduler(29)
+	sv := serve.New(s, serve.Config{
+		Machine:     machine.MustNew("ibm-power3"),
+		MaxSessions: 1,
+		MaxQueue:    -1,
+	})
+	if _, err := sv.RegisterResident("smg", 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := serve.NewBridge(sv, ln)
+	errc := make(chan error, 1)
+	go func() { errc <- b.Serve() }()
+
+	dial := func() (net.Conn, *bufio.Scanner) {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, bufio.NewScanner(c)
+	}
+	send := func(c net.Conn, sc *bufio.Scanner, line string) string {
+		t.Helper()
+		fmt.Fprintln(c, line)
+		if !sc.Scan() {
+			t.Fatalf("connection closed awaiting reply to %q (read err %v)", line, sc.Err())
+		}
+		return sc.Text()
+	}
+
+	c1, r1 := dial()
+	if got := send(c1, r1, "open alice smg"); !strings.HasPrefix(got, "ok open alice job smg") {
+		t.Fatalf("open reply %q", got)
+	}
+	if got := send(c1, r1, "insert smg_solve smg_relax"); got != "ok insert 2 function(s)" {
+		t.Fatalf("insert reply %q", got)
+	}
+	if got := send(c1, r1, "bogus"); !strings.HasPrefix(got, "err unknown command") {
+		t.Fatalf("unknown-command reply %q", got)
+	}
+	if got := send(c1, r1, "start"); !strings.HasPrefix(got, "err \"start\" is not supported") {
+		t.Fatalf("start reply %q", got)
+	}
+
+	// The second session must queue behind alice. Its open reply cannot
+	// arrive until the slot frees, so send it without awaiting the reply,
+	// then confirm from alice's connection that it queued.
+	c2, r2 := dial()
+	fmt.Fprintln(c2, "open bob smg")
+	for {
+		got := send(c1, r1, "stats")
+		if strings.Contains(got, "queued=1") {
+			break
+		}
+		if !strings.Contains(got, "queued=0") {
+			t.Fatalf("stats reply %q", got)
+		}
+	}
+
+	if got := send(c1, r1, "wait 1"); !strings.HasPrefix(got, "ok wait 1s") {
+		t.Fatalf("wait reply %q", got)
+	}
+	if got := send(c1, r1, "quit"); got != "ok quit" {
+		t.Fatalf("quit reply %q", got)
+	}
+	// The freed slot admits bob; his parked open now replies.
+	if !r2.Scan() {
+		t.Fatalf("no open reply for queued session (read err %v)", r2.Err())
+	}
+	if got := r2.Text(); !strings.HasPrefix(got, "ok open bob job smg") {
+		t.Fatalf("queued open reply %q", got)
+	}
+	if got := send(c2, r2, "insert smg_exchange"); got != "ok insert 1 function(s)" {
+		t.Fatalf("bob insert reply %q", got)
+	}
+	if got := send(c2, r2, "list"); got != "ok list smg_exchange" {
+		t.Fatalf("bob list reply %q", got)
+	}
+	if got := send(c2, r2, "shutdown"); got != "ok shutdown" {
+		t.Fatalf("shutdown reply %q", got)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("bridge: %v", err)
+	}
+	st := sv.Stats()
+	if st.Admitted != 2 || st.Queued != 1 || st.Closed < 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -16,6 +16,10 @@
 #   scripts/bench.sh parse F...   parse benchstat-style text files to a
 #                                 JSON array on stdout (used to assemble
 #                                 BENCH_PR5.json-style before/after files).
+#   scripts/bench.sh tenants      multi-tenant session-server sweep
+#                                 (100/1k/10k sessions), emitting
+#                                 OUTDIR/BENCH_PR7.json with latency
+#                                 percentiles and per-cell wall times.
 #
 # Environment:
 #   OUTDIR      where full-mode output goes (default: bench.out)
@@ -105,6 +109,44 @@ if [ "${1:-}" = "scale" ]; then
         > "$OUTDIR/BENCH_PR6.json"
     echo "bench.sh: wrote $OUTDIR/BENCH_PR6.json" >&2
     jq . "$OUTDIR/BENCH_PR6.json"
+    exit 0
+fi
+
+if [ "${1:-}" = "tenants" ]; then
+    # Tenants mode: the multi-tenant session-server sweep (100/1k/10k
+    # concurrent sessions against 16 resident jobs), emitting
+    # OUTDIR/BENCH_PR7.json with per-cell control-op latency percentiles
+    # (virtual time) and host wall time. Cells run with -parallel 1 so the
+    # wall times are per-cell, not pool-interleaved.
+    OUTDIR=${OUTDIR:-bench.out}
+    mkdir -p "$OUTDIR"
+
+    echo "bench.sh: tenants sweep (100/1k/10k sessions)" >&2
+    go run ./cmd/experiments -tenants -parallel 1 \
+        -jsonl "$OUTDIR/tenants.jsonl" > "$OUTDIR/tenants.txt"
+
+    jq -n \
+        --arg date "$(date +%Y-%m-%d)" \
+        --arg go "$(go env GOVERSION)" \
+        --arg goos "$(go env GOOS)" \
+        --arg goarch "$(go env GOARCH)" \
+        --argjson ncpu "$(getconf _NPROCESSORS_ONLN)" \
+        --slurpfile a "$OUTDIR/tenants.jsonl" \
+        '{pr: 7,
+          title: "Multi-tenant session server: control-op latency vs concurrent sessions",
+          date: $date, go: $go, goos: $goos, goarch: $goarch, host_cpus: $ncpu,
+          commands: ["experiments -tenants -parallel 1"],
+          cells: [ $a[] | select(.series == "p50") | . as $x |
+            {sessions: $x.cpus,
+             p50_s: $x.value,
+             p95_s: ($a[] | select(.series == "p95" and .cpus == $x.cpus) | .value),
+             p99_s: ($a[] | select(.series == "p99" and .cpus == $x.cpus) | .value),
+             sim_s: $x.sim_s,
+             wall_ms: ([$a[] | select(.cpus == $x.cpus and (.cache_hit | not))
+                        | .wall_ms] | add | round)} ]}' \
+        > "$OUTDIR/BENCH_PR7.json"
+    echo "bench.sh: wrote $OUTDIR/BENCH_PR7.json" >&2
+    jq . "$OUTDIR/BENCH_PR7.json"
     exit 0
 fi
 

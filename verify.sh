@@ -24,6 +24,12 @@ go test -race ./internal/fault/ ./internal/dpcl/
 go test -race -run 'TestCluster|TestSingleShardMatchesSerial|TestCast' ./internal/des/
 go test -race -run 'TestScale|TestSpill' ./internal/exp/ ./internal/vt/
 
+# Race pass over the multi-tenant session server: the protocol bridge's
+# per-connection reader goroutines are real host concurrency against the
+# DES loop, as is the CLI serve smoke.
+go test -race ./internal/serve/ ./cmd/dynprof/
+go test -race -run TestTenants ./internal/exp/
+
 # End-to-end fault smoke (guarded by -short elsewhere): a run with every
 # fault class enabled must terminate via timeout degradation.
 go test -run TestFaultSmoke ./internal/exp/
@@ -58,3 +64,10 @@ cmp "$smoke/baseline.txt" "$smoke/resumed.txt"
 "$smoke/experiments" -scale -max-cpus 1024 -shards 8 \
     -spill-dir "$smoke/spill" -spill-threshold 1024 > "$smoke/scale8.txt"
 cmp "$smoke/scale1.txt" "$smoke/scale8.txt"
+
+# Tenants smoke: the 100-session cell of the multi-tenant sweep (admission
+# queueing, fair daemon scheduling, two quota evictions) must render the
+# same bytes at any host parallelism.
+"$smoke/experiments" -tenants -max-cpus 100 -parallel 1 > "$smoke/tenants1.txt"
+"$smoke/experiments" -tenants -max-cpus 100 -parallel 8 > "$smoke/tenants8.txt"
+cmp "$smoke/tenants1.txt" "$smoke/tenants8.txt"
