@@ -23,7 +23,7 @@ import (
 )
 
 // cell runs one (app, policy, cpus) experiment cell b.N times.
-func cell(b *testing.B, appName string, policy exp.Policy, cpus int, args map[string]int) {
+func cell(b *testing.B, appName string, policy exp.PolicySpec, cpus int, args map[string]int) {
 	b.Helper()
 	spec := exp.RunSpec{App: appName, Policy: policy, CPUs: cpus, Args: args, Seed: exp.DefaultSeed}
 	var last exp.Result
@@ -326,6 +326,38 @@ func BenchmarkRunnerFigures(b *testing.B) {
 				if _, err := r.Figures("fig7a", "fig8a"); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdapt runs the budget-5% adaptive cell on each kernel: the
+// feedback controller riding VT_confsync epochs (DESIGN.md §15). sim_s is
+// the instrumented run's virtual time; epochs counts controller steps;
+// ms_epoch is the host cost of one controller epoch (measure + step +
+// change distribution, amortised); events_s is recorded instrumentation
+// events per host second at the converged budget.
+func BenchmarkAdapt(b *testing.B) {
+	for _, name := range apps.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			spec := exp.AdaptSpec{App: name, Budget: 0.05, Seed: exp.DefaultSeed}
+			var last exp.AdaptResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				last, err = exp.RunAdapt(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.Elapsed.Seconds(), "sim_s")
+			b.ReportMetric(float64(last.Epochs), "epochs")
+			b.ReportMetric(last.Achieved*100, "overhead_pct")
+			b.ReportMetric(last.Retained*100, "retained_pct")
+			host := b.Elapsed().Seconds()
+			if n := b.N * last.Epochs; n > 0 && host > 0 {
+				b.ReportMetric(host/float64(n)*1e3, "ms_epoch")
+				b.ReportMetric(float64(last.Events)*float64(b.N)/host, "events_s")
 			}
 		})
 	}

@@ -39,7 +39,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	var policy exp.Policy
+	var policy exp.StaticPolicy
 	found := false
 	for _, p := range exp.AllPolicies() {
 		if strings.EqualFold(p.String(), *policyName) {
@@ -103,10 +103,10 @@ func run() error {
 
 // runTraced repeats the run with full event retention and writes the
 // trace file.
-func runTraced(mach *machine.Config, app *guide.App, policy exp.Policy,
+func runTraced(mach *machine.Config, app *guide.App, policy exp.StaticPolicy,
 	procs int, deck map[string]int, seed uint64, path string) error {
 
-	bin, err := guide.Build(app, exp.BuildOptsFor(app, policy))
+	bin, err := guide.Build(app, policy.BuildOpts(app))
 	if err != nil {
 		return err
 	}

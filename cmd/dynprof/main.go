@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dynprof/internal/adapt"
 	"dynprof/internal/apps"
 	"dynprof/internal/core"
 	"dynprof/internal/des"
@@ -48,6 +49,8 @@ func run() error {
 	seed := flag.Uint64("seed", 2003, "simulation seed")
 	trace := flag.String("trace", "", "write the run's trace to this file")
 	report := flag.Bool("report", false, "print a postmortem profile after the run")
+	budget := flag.Float64("budget", 0, "adaptive perturbation budget as a fraction (e.g. 0.05); 0 disables the controller")
+	epoch := flag.Int("epoch", 1, "adaptive mode: sync-point crossings per controller epoch")
 	serveAddr := flag.String("serve", "", "run the multi-tenant session server on ADDR (host:port); positional args name the resident jobs")
 	maxSessions := flag.Int("max-sessions", 64, "serve mode: concurrently admitted sessions")
 	maxQueue := flag.Int("max-queue", -1, "serve mode: admission queue bound (<0 unbounded, 0 reject when full)")
@@ -130,6 +133,7 @@ func run() error {
 
 	s := des.NewScheduler(*seed)
 	var ss *core.Session
+	var rt *adapt.Runtime
 	var sessErr error
 	s.Spawn("dynprof", func(p *des.Proc) {
 		ss, sessErr = core.NewSession(p, core.Config{
@@ -143,6 +147,15 @@ func run() error {
 		})
 		if sessErr != nil {
 			return
+		}
+		if *budget > 0 {
+			// Arm the feedback controller before the script's start command
+			// launches the target: it rides the application's declared sync
+			// point and sheds the worst cost/benefit probes each epoch.
+			rt, sessErr = adapt.Attach(p, ss, adapt.Config{Budget: *budget, EpochEvery: *epoch})
+			if sessErr != nil {
+				return
+			}
 		}
 		sessErr = ss.RunScript(p, script)
 	})
@@ -164,6 +177,13 @@ func run() error {
 
 	fmt.Fprintf(out, "dynprof: target finished; main computation %.4fs; create+instrument %.4fs\n",
 		ss.Job().MainElapsed().Seconds(), ss.CreateAndInstrumentTime().Seconds())
+
+	if rt != nil {
+		sum := rt.Summary()
+		fmt.Fprintf(out, "dynprof: adapt budget %.3g: %d epochs, achieved overhead %.4f (floor %.4f), retained %.3f of events, %d/%d probes active, %d deactivated, %d reactivated\n",
+			*budget, sum.Epochs, sum.Achieved, sum.Floor, sum.Retained,
+			sum.ActiveProbes, sum.TotalProbes, sum.Deactivated, sum.Reactivated)
+	}
 
 	if *trace != "" {
 		f, err := os.Create(*trace)

@@ -13,6 +13,7 @@
 //	experiments -all -jsonl cells.jsonl -progress  # observable run
 //	experiments -scale -shards 8 -spill-dir spill -scale-stats  # 1k-16k rank sweep on the sharded DES
 //	experiments -tenants              # multi-tenant server: latency percentiles at 100-10k sessions
+//	experiments -adapt                # adaptive controller: overhead/retention vs budget on all kernels
 //
 // Sweeps are supervised: a cell that panics, livelocks past the -max-events/
 // -max-virtual DES budget, or exceeds -cell-timeout of host time is retried
@@ -69,6 +70,7 @@ func run() error {
 		faults   = flag.Bool("faults", false, "fault-injection sweep: run and confsync cost vs fault intensity")
 		scale    = flag.Bool("scale", false, "scale sweep: instrumented kernels at 1k/4k/16k ranks on the sharded DES")
 		tenants  = flag.Bool("tenants", false, "tenants sweep: control-op latency percentiles at 100/1k/10k concurrent sessions")
+		adapt    = flag.Bool("adapt", false, "adapt sweep: achieved overhead and retained events vs perturbation budget on all four kernels")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		maxCPUs  = flag.Int("max-cpus", 0, "truncate CPU sweeps (0 = the paper's full range)")
 		seed     = flag.Uint64("seed", exp.DefaultSeed, "simulation seed")
@@ -239,6 +241,7 @@ func run() error {
 		{*faults, "faults"},
 		{*scale, "scale"},
 		{*tenants, "tenants"},
+		{*adapt, "adapt"},
 	} {
 		if f.on {
 			ids = append(ids, f.id)

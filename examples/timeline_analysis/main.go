@@ -28,7 +28,7 @@ func show(name string, procs int, args map[string]int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	bin, err := guide.Build(app, exp.BuildOptsFor(app, exp.Subset))
+	bin, err := guide.Build(app, exp.Subset.BuildOpts(app))
 	if err != nil {
 		log.Fatal(err)
 	}

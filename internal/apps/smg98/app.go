@@ -157,6 +157,9 @@ func App() *guide.App {
 		DefaultArgs: map[string]int{
 			"nx": 18, "ny": 18, "nz": 32, "iters": 6, "tolexp": 9,
 		},
+		// Every rank enters a V-cycle once per solver iteration with no
+		// messages in flight.
+		SyncPoint: "smg_VCycle",
 		Main: func(c *guide.Ctx) {
 			c.MPI.Init()
 			k := &kernel{c: c, m: c.MPI, rank: c.MPI.Rank(), size: c.MPI.Size()}

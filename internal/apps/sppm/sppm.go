@@ -552,6 +552,9 @@ func App() *guide.App {
 			"sppm_Timestep", "sppm_CourantLimit", "sppm_ExchangeBoundary",
 		},
 		DefaultArgs: map[string]int{"nx": 12, "ny": 12, "nz": 12, "steps": 8},
+		// Every rank enters the step driver once per timestep, after the
+		// previous step's exchanges have drained.
+		SyncPoint: "sppm_StepDriver",
 		Main: func(c *guide.Ctx) {
 			c.MPI.Init()
 			k := &kernel{c: c, m: c.MPI, rank: c.MPI.Rank(), size: c.MPI.Size()}

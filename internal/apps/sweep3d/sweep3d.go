@@ -424,6 +424,9 @@ func App() *guide.App {
 		Lang:        guide.MPIF77,
 		Funcs:       funcTable(),
 		DefaultArgs: map[string]int{"nx": 64, "ny": 24, "nz": 24, "iters": 4},
+		// Every rank updates the source once per outer iteration before
+		// the wavefront sweeps begin.
+		SyncPoint: "sweep_SourceUpdate",
 		Main: func(c *guide.Ctx) {
 			c.MPI.Init()
 			if c.MPI.Size() < 2 {

@@ -647,6 +647,9 @@ func App() *guide.App {
 			"umt_SweepAngle", "umt_ScatterSource", "umt_ConvergenceNorm",
 		},
 		DefaultArgs: map[string]int{"zones": 320, "angles": 24, "iters": 4},
+		// The master thread enters the region driver once per outer
+		// iteration, outside any parallel region.
+		SyncPoint: "umt_RegionDriver",
 		Main: func(c *guide.Ctx) {
 			k := &kernel{c: c, rt: c.OMP}
 			k.runMain()

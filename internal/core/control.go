@@ -104,10 +104,11 @@ func (m *ControlMonitor) Serve(p *des.Proc, decide func(hit dpcl.Event) []vt.Cha
 // made before the start command; it is installed during the deferred
 // instrumentation phase. Changes staged on rank 0 (via QueueChanges or a
 // ControlMonitor) are distributed at the next crossing.
+//
+// On a pure-OpenMP target the inserted point degrades to vt.LocalSync: the
+// same breakpoint/drain/apply epoch on the process's single library
+// instance, with no distribution step.
 func (ss *Session) InsertConfSyncAt(p *des.Proc, fn string) error {
-	if !ss.bin.App().Lang.IsMPI() {
-		return fmt.Errorf("dynprof: hybrid confsync points require an MPI target")
-	}
 	if ss.ready {
 		return fmt.Errorf("dynprof: confsync points must be inserted at program startup, before start")
 	}
@@ -118,10 +119,20 @@ func (ss *Session) InsertConfSyncAt(p *des.Proc, fn string) error {
 // installConfSyncAt patches the queued hybrid safe point into every rank
 // while the target is quiescent.
 func (ss *Session) installConfSyncAt(p *des.Proc, fn string) error {
+	isMPI := ss.bin.App().Lang.IsMPI()
 	probe, err := ss.cl.InstallProbe(p, ss.job.Processes(), fn, image.EntryPoint, 0,
 		"VT_confsync@"+fn, func(pr *proc.Process) image.Snippet {
 			rank := pr.Rank()
 			v := ss.job.VT(rank)
+			if !isMPI {
+				return func(ec image.ExecCtx) {
+					// Only the master thread drives the epoch; worker
+					// threads crossing the same point pass through.
+					if ec.ThreadID() == 0 {
+						v.LocalSync(ec.(vt.SyncPoint))
+					}
+				}
+			}
 			return func(ec image.ExecCtx) {
 				v.ConfSync(ss.job.World().Rank(rank), false, nil)
 			}

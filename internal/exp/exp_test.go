@@ -14,7 +14,7 @@ func TestPolicyTable3(t *testing.T) {
 	}
 	for _, p := range AllPolicies() {
 		if p.String() == "" || p.Description() == "" {
-			t.Fatalf("policy %d lacks a name or description", int(p))
+			t.Fatalf("policy %q lacks a name or description", string(p))
 		}
 	}
 	smg, _ := apps.Get("smg98")

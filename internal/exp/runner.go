@@ -65,6 +65,9 @@ func planFor(id string, opts Options) (*figurePlan, error) {
 	case "tenants":
 		// Also on demand only, for the same reason as "scale".
 		return planTenants(opts), nil
+	case "adapt":
+		// Also on demand only, for the same reason as "scale".
+		return planAdapt(opts), nil
 	default:
 		return nil, fmt.Errorf("exp: unknown figure %q (have %v)", id, FigureIDs())
 	}
@@ -130,8 +133,9 @@ type CellEvent struct {
 	WallMS float64 `json:"wall_ms"`
 	// SimS is the simulated seconds the cell's run covered.
 	SimS float64 `json:"sim_s"`
-	// Events is the DES event count of the cell's run, when the result
-	// reports one (currently scale cells only).
+	// Events is the cell run's event count, when the result reports one
+	// (scale and tenants cells report DES events; adapt cells report
+	// recorded instrumentation events).
 	Events uint64 `json:"events,omitempty"`
 	// Faults is the cell run's structured fault-event stream; omitted
 	// for cells on fault-free machines.
@@ -412,6 +416,8 @@ func virtualOf(val any) des.Time {
 		return v.Elapsed
 	case TenantsResult:
 		return v.Elapsed
+	case AdaptResult:
+		return v.Elapsed
 	}
 	return 0
 }
@@ -422,6 +428,8 @@ func eventsOf(val any) uint64 {
 	case ScaleResult:
 		return v.Events
 	case TenantsResult:
+		return v.Events
+	case AdaptResult:
 		return v.Events
 	}
 	return 0
@@ -435,6 +443,8 @@ func faultsOf(val any) []fault.Event {
 	case ConfSyncResult:
 		return v.Faults
 	case HybridResult:
+		return v.Faults
+	case AdaptResult:
 		return v.Faults
 	}
 	return nil

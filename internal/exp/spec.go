@@ -63,8 +63,10 @@ type RunSpec struct {
 	// of a registry lookup. Its Name feeds the spec key, so distinct
 	// custom apps must use distinct names for correct memoization.
 	AppDef *guide.App
-	// Policy is the Table 3 instrumentation policy.
-	Policy Policy
+	// Policy is the instrumentation policy: a Table 3 static policy
+	// (Full, FullOff, ...) or any other PolicySpec such as Adaptive.
+	// nil selects Full, preserving the zero value's old meaning.
+	Policy PolicySpec
 	// CPUs is the number of MPI ranks (or OpenMP threads).
 	CPUs int
 	// Machine is the simulated platform (nil = the IBM Power3 cluster).
@@ -93,6 +95,14 @@ func (s RunSpec) machine() *machine.Config {
 	return machine.MustNew("ibm-power3")
 }
 
+// policy resolves the instrumentation policy (nil = Full).
+func (s RunSpec) policy() PolicySpec {
+	if s.Policy == nil {
+		return Full
+	}
+	return s.Policy
+}
+
 // Key canonicalises the spec for dedup/caching: identical keys describe
 // byte-identical deterministic runs.
 func (s RunSpec) Key() string {
@@ -101,7 +111,7 @@ func (s RunSpec) Key() string {
 		name = s.AppDef.Name
 	}
 	return fmt.Sprintf("run|%s|%s|cpus=%d|%s|%s|seed=%d%s",
-		name, s.Policy, s.CPUs, s.machine().Name, argsKey(s.Args), s.Seed, faultKey(s.machine()))
+		name, s.policy().Key(), s.CPUs, s.machine().Name, argsKey(s.Args), s.Seed, faultKey(s.machine()))
 }
 
 func (s RunSpec) runCell(bud des.Budget) (any, error) { return runSpecCell(s, bud) }
@@ -134,37 +144,14 @@ func argsKey(args map[string]int) string {
 func Run(spec RunSpec) (Result, error) { return runSpecCell(spec, des.Budget{}) }
 
 // runSpecCell is Run with a DES budget attached (the Runner's supervised
-// path); a Proc panic surfaces as a *des.ProcPanicError return.
+// path); a Proc panic surfaces as a *des.ProcPanicError return. Execution
+// is dispatched through the spec's PolicySpec.
 func runSpecCell(spec RunSpec, bud des.Budget) (Result, error) {
 	app, err := spec.app()
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{App: app.Name, Policy: spec.Policy, CPUs: spec.CPUs}
-	if spec.Policy == Dynamic {
-		return runDynamic(spec.machine(), app, spec.CPUs, spec.Args, spec.Seed, bud)
-	}
-	bin, err := guide.Build(app, BuildOptsFor(app, spec.Policy))
-	if err != nil {
-		return res, err
-	}
-	s := des.NewScheduler(spec.Seed, des.WithBudget(bud))
-	j, err := guide.Launch(s, spec.machine(), bin, guide.LaunchOpts{Procs: spec.CPUs, Args: spec.Args, CountOnly: true})
-	if err != nil {
-		return res, err
-	}
-	// The cell's trace collector dies with the cell: recycle its arena for
-	// the next cell in the sweep.
-	defer j.Collector().Release()
-	if err := runScheduler(s); err != nil {
-		return res, err
-	}
-	res.Elapsed = j.MainElapsed()
-	for i := range j.Processes() {
-		res.TraceBytes += j.VT(i).TraceBytes()
-	}
-	res.Faults = j.Faults()
-	return res, nil
+	return spec.policy().run(spec, app, bud)
 }
 
 // ConfSyncSpec describes one VT_confsync probe cell (Figure 8): the mean

@@ -23,6 +23,7 @@ type storeRecord struct {
 	Hybrid   *HybridResult   `json:"hybrid,omitempty"`
 	Scale    *ScaleResult    `json:"scale,omitempty"`
 	Tenants  *TenantsResult  `json:"tenants,omitempty"`
+	Adapt    *AdaptResult    `json:"adapt,omitempty"`
 }
 
 // value returns the record's typed result.
@@ -38,6 +39,8 @@ func (rec *storeRecord) value() (any, error) {
 		return *rec.Scale, nil
 	case rec.Tenants != nil:
 		return *rec.Tenants, nil
+	case rec.Adapt != nil:
+		return *rec.Adapt, nil
 	}
 	return nil, fmt.Errorf("exp: store record %q carries no result", rec.Key)
 }
@@ -143,6 +146,8 @@ func (st *Store) Put(key string, val any) error {
 		rec.Scale = &v
 	case TenantsResult:
 		rec.Tenants = &v
+	case AdaptResult:
+		rec.Adapt = &v
 	default:
 		return fmt.Errorf("exp: store: unstorable cell result %T for %q", val, key)
 	}
@@ -197,6 +202,8 @@ func (st *Store) Compact() error {
 			rec.Scale = &v
 		case TenantsResult:
 			rec.Tenants = &v
+		case AdaptResult:
+			rec.Adapt = &v
 		}
 		if err := enc.Encode(rec); err != nil {
 			tmp.Close()

@@ -30,7 +30,7 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]any{
-		"k-run": Result{App: "smg98", Policy: Subset, CPUs: 4, Elapsed: 5 * des.Second, TraceBytes: 123},
+		"k-run": Result{App: "smg98", Policy: Subset.Key(), CPUs: 4, Elapsed: 5 * des.Second, TraceBytes: 123},
 		"k-cs":  ConfSyncResult{CPUs: 8, Mean: 3 * des.Millisecond},
 		"k-hy":  HybridResult{CPUs: 4, Elapsed: des.Second, CreateAndInstrument: 20 * des.Millisecond},
 	}
@@ -73,7 +73,7 @@ func TestStoreTornFinalRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Result{App: "sppm", Policy: None, CPUs: 2, Elapsed: des.Second}
+	res := Result{App: "sppm", Policy: None.Key(), CPUs: 2, Elapsed: des.Second}
 	if err := st.Put("intact", res); err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestStoreTornFinalRecord(t *testing.T) {
 // crash signature and must fail loudly, naming the line.
 func TestStoreCorruptMiddle(t *testing.T) {
 	dir := t.TempDir()
-	garbage := "not json at all\n" + `{"key":"ok","run":{"App":"sppm","Policy":3,"CPUs":2,"Elapsed":1,"CreateAndInstrument":0,"TraceBytes":0,"Faults":null}}` + "\n"
+	garbage := "not json at all\n" + `{"key":"ok","run":{"App":"sppm","Policy":"None","CPUs":2,"Elapsed":1,"CreateAndInstrument":0,"TraceBytes":0,"Faults":null}}` + "\n"
 	if err := os.WriteFile(filepath.Join(dir, StoreJournalName), []byte(garbage), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -127,8 +127,8 @@ func TestStoreLastRecordWins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first := Result{App: "smg98", Policy: Full, CPUs: 2, Elapsed: des.Second}
-	second := Result{App: "smg98", Policy: Full, CPUs: 2, Elapsed: 2 * des.Second}
+	first := Result{App: "smg98", Policy: Full.Key(), CPUs: 2, Elapsed: des.Second}
+	second := Result{App: "smg98", Policy: Full.Key(), CPUs: 2, Elapsed: 2 * des.Second}
 	if err := st.Put("k", first); err != nil {
 		t.Fatal(err)
 	}

@@ -99,6 +99,11 @@ type App struct {
 	Main func(c *Ctx)
 	// DefaultArgs is the default input deck.
 	DefaultArgs map[string]int
+	// SyncPoint names a function every rank (or the OpenMP master
+	// thread) reaches once per outer iteration with no messages in
+	// flight — a safe place to dynamically insert a VT_confsync point.
+	// Empty means the application declares no such point.
+	SyncPoint string
 }
 
 // FuncNames returns the application's function names in table order.

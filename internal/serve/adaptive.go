@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"fmt"
+
+	"dynprof/internal/adapt"
+	"dynprof/internal/des"
+	"dynprof/internal/guide"
+	"dynprof/internal/machine"
+	"dynprof/internal/vt"
+)
+
+// adaptive is a session's attached adaptive policy: the pure controller
+// plus the previous epoch's cost baseline over the resident job.
+type adaptive struct {
+	ctl  *adapt.Controller
+	job  *guide.Job
+	mach *machine.Config
+
+	// watched is every function the controller has ever managed for this
+	// session (still measured after removal so re-insertion stays
+	// cost-informed); order fixes the deterministic epoch probe order.
+	watched map[string]bool
+	order   []string
+
+	started  bool
+	prevNow  des.Time
+	prevSusp []des.Time
+	prevCost []map[string]vt.ProbeCost
+}
+
+// EnableAdaptive attaches an adaptive deactivation policy to the session:
+// each subsequent AdaptStep measures the removable cost of the session's
+// probes against the resident job's useful cycles and sheds (or
+// re-inserts) probes to hold cfg.Budget. The controller's edits go through
+// the session's own quota-gated Insert/Remove, so an adaptive policy is
+// bounded by the same control-rate, probe and trace quotas as a
+// hand-driven tenant — a runaway controller evicts itself.
+func (sn *Session) EnableAdaptive(cfg adapt.Config) error {
+	if sn.closed {
+		return fmt.Errorf("serve: session %s is closed", sn.user)
+	}
+	if sn.evicted {
+		return fmt.Errorf("%w (%s)", ErrEvicted, sn.evictReason)
+	}
+	if sn.adaptive != nil {
+		return fmt.Errorf("serve: session %s already has an adaptive policy", sn.user)
+	}
+	if cfg.Budget <= 0 {
+		return fmt.Errorf("serve: adaptive budget must be positive, got %g", cfg.Budget)
+	}
+	job := sn.jb.Guide()
+	sn.adaptive = &adaptive{
+		ctl:     adapt.NewController(cfg),
+		job:     job,
+		mach:    job.Processes()[0].Config(),
+		watched: make(map[string]bool),
+	}
+	return nil
+}
+
+// Adaptive reports whether an adaptive policy is attached.
+func (sn *Session) Adaptive() bool { return sn.adaptive != nil }
+
+// AdaptOverhead reports the controller's last measured removable-overhead
+// fraction (zero before the first measured epoch or without a policy).
+func (sn *Session) AdaptOverhead() float64 {
+	if sn.adaptive == nil {
+		return 0
+	}
+	return sn.adaptive.ctl.LastOverhead()
+}
+
+// AdaptStep runs one controller epoch: it diffs per-probe cost counters
+// since the previous step (the first step only captures a baseline), steps
+// the controller, and applies the decision through the session's
+// quota-gated Insert/Remove. The returned Decision reports what the
+// controller chose even when applying it failed (e.g. eviction mid-apply).
+func (sn *Session) AdaptStep(p *des.Proc) (adapt.Decision, error) {
+	var none adapt.Decision
+	ad := sn.adaptive
+	if ad == nil {
+		return none, fmt.Errorf("serve: session %s has no adaptive policy", sn.user)
+	}
+	if sn.closed {
+		return none, fmt.Errorf("serve: session %s is closed", sn.user)
+	}
+	if sn.evicted {
+		return none, fmt.Errorf("%w (%s)", ErrEvicted, sn.evictReason)
+	}
+	active := make(map[string]bool)
+	for _, f := range sn.ss.Instrumented() {
+		active[f] = true
+		if !ad.watched[f] {
+			ad.watched[f] = true
+			ad.order = append(ad.order, f)
+		}
+	}
+	if !ad.started {
+		ad.capture()
+		ad.started = true
+		return none, nil
+	}
+	d := ad.ctl.Step(ad.measure(active))
+	ad.capture()
+	if len(d.Deactivate) > 0 {
+		if err := sn.Remove(p, d.Deactivate...); err != nil {
+			return d, err
+		}
+	}
+	if len(d.Reactivate) > 0 {
+		if err := sn.Insert(p, d.Reactivate...); err != nil {
+			return d, err
+		}
+	}
+	return d, nil
+}
+
+// capture snapshots per-rank cost counters and thread clocks as the next
+// epoch's baseline.
+func (ad *adaptive) capture() {
+	procs := ad.job.Processes()
+	ad.prevSusp = make([]des.Time, len(procs))
+	ad.prevCost = make([]map[string]vt.ProbeCost, len(procs))
+	for i, pr := range procs {
+		ad.prevSusp[i] = pr.Threads()[0].SuspendedTime()
+		snap := ad.job.VT(i).CostSnapshot()
+		m := make(map[string]vt.ProbeCost, len(snap))
+		for _, pc := range snap {
+			m[pc.Name] = pc
+		}
+		ad.prevCost[i] = m
+		if i == 0 {
+			ad.prevNow = pr.Threads()[0].Now()
+		}
+	}
+}
+
+// measure diffs the watched functions' cost counters against the baseline
+// and aggregates across ranks into one Epoch; active tells the controller
+// which probes this session currently holds.
+func (ad *adaptive) measure(active map[string]bool) adapt.Epoch {
+	procs := ad.job.Processes()
+	agg := make(map[string]*adapt.Probe, len(ad.order))
+	var total int64
+	for i, pr := range procs {
+		t := pr.Threads()[0]
+		elapsed := t.Now() - ad.prevNow
+		susp := t.SuspendedTime() - ad.prevSusp[i]
+		if susp > elapsed {
+			susp = elapsed
+		}
+		total += ad.mach.TimeToCycles(elapsed - susp)
+		for _, pc := range ad.job.VT(i).CostSnapshot() {
+			if !ad.watched[pc.Name] {
+				continue
+			}
+			pb, ok := agg[pc.Name]
+			if !ok {
+				pb = &adapt.Probe{Name: pc.Name, Active: active[pc.Name]}
+				agg[pc.Name] = pb
+			}
+			prev := ad.prevCost[i][pc.Name]
+			pb.Hits += pc.Hits - prev.Hits
+			pb.Cycles += pc.RemovableCycles() - prev.RemovableCycles()
+		}
+	}
+	e := adapt.Epoch{Total: total, Probes: make([]adapt.Probe, 0, len(ad.order))}
+	for _, name := range ad.order {
+		if pb, ok := agg[name]; ok {
+			e.Probes = append(e.Probes, *pb)
+		} else {
+			e.Probes = append(e.Probes, adapt.Probe{Name: name, Active: active[name]})
+		}
+	}
+	return e
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"dynprof/internal/des"
+	"dynprof/internal/image"
 	"dynprof/internal/mpi"
 )
 
@@ -71,7 +72,13 @@ func (c *Ctx) ConfSync(m *mpi.Ctx, writeStats bool, statsOut io.Writer) int {
 		chs, _ = wire.([]Change)
 		if len(chs) > 0 {
 			t.Work(int64(len(chs)) * confApplyCyclesPerRule)
-			c.ApplyChanges(chs)
+			if err := c.ApplyChanges(chs); err != nil {
+				// A rejected batch still consumes the epoch: surface the bad
+				// changes on the fault stream and advance the generation so
+				// every rank stays in sync.
+				c.faultEvent(t, "confsync: "+err.Error())
+				c.gen++
+			}
 		} else {
 			c.gen++
 		}
@@ -88,6 +95,41 @@ func (c *Ctx) ConfSync(m *mpi.Ctx, writeStats bool, statsOut io.Writer) int {
 		body()
 	}
 	return n
+}
+
+// SyncPoint is the execution context LocalSync needs: the ordinary charge
+// interface plus work accounting and the breakpoint hook. *proc.Thread
+// satisfies it.
+type SyncPoint interface {
+	image.ExecCtx
+	Work(cycles int64)
+	Breakpoint(name string)
+}
+
+// LocalSync is the single-process (OpenMP) variant of ConfSync: the same
+// breakpoint + drain-pending + apply-or-advance epoch protocol, minus the
+// MPI distribution. The master thread calls it at a program sync point; a
+// monitoring tool stages changes from the breakpoint handler exactly as in
+// the MPI case. It returns the number of changes applied.
+func (c *Ctx) LocalSync(t SyncPoint) int {
+	if !c.ready {
+		panic("vt: LocalSync before library initialisation")
+	}
+	t.Work(confSyncBaseCycles)
+	t.Breakpoint(BreakpointSymbol)
+	chs := c.pending
+	c.pending = nil
+	if len(chs) > 0 {
+		t.Work(int64(len(chs)) * confApplyCyclesPerRule)
+		if err := c.ApplyChanges(chs); err != nil {
+			c.faultEvent(t, "confsync: "+err.Error())
+			c.gen++
+		}
+	} else {
+		c.gen++
+	}
+	c.record(t, ConfSync, 0, c.gen, int64(len(chs)))
+	return len(chs)
 }
 
 // gatherStats collects per-function call counts to rank 0 and writes them.

@@ -2,6 +2,7 @@ package vt
 
 import (
 	"fmt"
+	"strings"
 
 	"dynprof/internal/fault"
 	"dynprof/internal/image"
@@ -47,6 +48,16 @@ type Ctx struct {
 	ids    map[string]int32
 	active []bool
 	calls  []int64 // per-function enter counts (runtime statistics)
+
+	// Per-probe cost accounting, maintained alongside calls: hits counts
+	// Begin/End firings regardless of activation (each pays at least the
+	// table lookup), recorded counts the events actually collected, and
+	// probeCycles accumulates every cycle the library charged through the
+	// probe (lookup + record). An adaptive controller reads these through
+	// CostSnapshot to attribute perturbation per function.
+	hits        []int64
+	recorded    []int64
+	probeCycles []int64
 
 	buffers map[int32][]Event
 	bytes   int
@@ -160,6 +171,9 @@ func (c *Ctx) FuncDef(name string) int32 {
 	c.names = append(c.names, name)
 	c.active = append(c.active, c.cfg.Active(name))
 	c.calls = append(c.calls, 0)
+	c.hits = append(c.hits, 0)
+	c.recorded = append(c.recorded, 0)
+	c.probeCycles = append(c.probeCycles, 0)
 	return id
 }
 
@@ -259,17 +273,21 @@ func (c *Ctx) faultEvent(ec image.ExecCtx, detail string) {
 	c.inj.Record(ec.Now(), fault.KindOverflow, c.node, int(c.rank), detail)
 }
 
-// Begin is VT_begin: charge the table lookup; if the symbol is active,
+/// Begin is VT_begin: charge the table lookup; if the symbol is active,
 // record a timestamped Enter event.
 func (c *Ctx) Begin(ec image.ExecCtx, id int32) {
 	if !c.ready {
 		return
 	}
 	ec.Charge(lookupCycles)
+	c.hits[id]++
+	c.probeCycles[id] += lookupCycles
 	if !c.active[id] {
 		return
 	}
 	ec.Charge(recordCycles)
+	c.probeCycles[id] += recordCycles
+	c.recorded[id]++
 	c.calls[id]++
 	c.record(ec, Enter, id, 0, 0)
 }
@@ -280,10 +298,14 @@ func (c *Ctx) End(ec image.ExecCtx, id int32) {
 		return
 	}
 	ec.Charge(lookupCycles)
+	c.hits[id]++
+	c.probeCycles[id] += lookupCycles
 	if !c.active[id] {
 		return
 	}
 	ec.Charge(recordCycles)
+	c.probeCycles[id] += recordCycles
+	c.recorded[id]++
 	c.record(ec, Exit, id, 0, 0)
 }
 
@@ -312,9 +334,37 @@ func (c *Ctx) QueueChanges(chs []Change) {
 // PendingChanges reports how many updates are staged.
 func (c *Ctx) PendingChanges() int { return len(c.pending) }
 
+// UnknownFuncError reports configuration changes whose exact (wildcard-free)
+// patterns name no registered function. Such a change could never alter the
+// activation table; silently absorbing it hides controller and tool bugs.
+type UnknownFuncError struct {
+	Patterns []string // the offending patterns, in batch order
+}
+
+func (e *UnknownFuncError) Error() string {
+	return fmt.Sprintf("vt: changes name unknown functions: %s",
+		strings.Join(e.Patterns, ", "))
+}
+
 // ApplyChanges applies configuration updates to the activation table and
-// bumps the generation.
-func (c *Ctx) ApplyChanges(chs []Change) {
+// bumps the generation. A batch containing an exact pattern that matches no
+// registered function is rejected atomically with *UnknownFuncError: no rule
+// in the batch is applied and the generation does not advance. Prefix
+// patterns (trailing '*') are exempt — they legitimately match functions
+// registered later.
+func (c *Ctx) ApplyChanges(chs []Change) error {
+	var unknown []string
+	for _, ch := range chs {
+		if strings.HasSuffix(ch.Pattern, "*") {
+			continue
+		}
+		if _, ok := c.ids[ch.Pattern]; !ok {
+			unknown = append(unknown, ch.Pattern)
+		}
+	}
+	if len(unknown) > 0 {
+		return &UnknownFuncError{Patterns: unknown}
+	}
 	if c.cfg == nil {
 		c.cfg = &Config{}
 	}
@@ -325,6 +375,46 @@ func (c *Ctx) ApplyChanges(chs []Change) {
 		c.active[id] = c.cfg.Active(name)
 	}
 	c.gen++
+	return nil
+}
+
+// ProbeCost is one function's instrumentation cost attribution: how often
+// its probes fired, how many events were actually recorded, and the cycles
+// the library charged through them.
+type ProbeCost struct {
+	ID       int32
+	Name     string
+	Active   bool
+	Hits     int64 // Begin/End firings, active or not (each pays the lookup)
+	Recorded int64 // events recorded while active
+	Cycles   int64 // total library cycles charged through this probe
+}
+
+// FloorCycles is the unavoidable part of the probe's cost: every firing
+// pays the table lookup whether or not the symbol is active, so this floor
+// persists after deactivation.
+func (pc ProbeCost) FloorCycles() int64 { return pc.Hits * lookupCycles }
+
+// RemovableCycles is the part of the probe's cost that deactivating it
+// reclaims: the timestamp-and-record cycles of events actually collected.
+func (pc ProbeCost) RemovableCycles() int64 { return pc.Cycles - pc.Hits*lookupCycles }
+
+// CostSnapshot returns per-probe cost counters in function-id order. An
+// adaptive controller diffs consecutive snapshots to attribute perturbation
+// per function within a sync epoch.
+func (c *Ctx) CostSnapshot() []ProbeCost {
+	out := make([]ProbeCost, len(c.names))
+	for id, name := range c.names {
+		out[id] = ProbeCost{
+			ID:       int32(id),
+			Name:     name,
+			Active:   c.active[id],
+			Hits:     c.hits[id],
+			Recorded: c.recorded[id],
+			Cycles:   c.probeCycles[id],
+		}
+	}
+	return out
 }
 
 // Flush moves all buffered events and the function table to the collector;

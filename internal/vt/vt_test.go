@@ -2,6 +2,7 @@ package vt
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -178,6 +179,40 @@ func TestApplyChangesRebuildsTable(t *testing.T) {
 	id2 := c.FuncDef("hot") // same
 	if id2 != id {
 		t.Fatal("id changed")
+	}
+}
+
+func TestApplyChangesUnknownFunc(t *testing.T) {
+	c, _ := newTestCtx(nil)
+	id := c.FuncDef("hot")
+	// A batch naming an unknown function is rejected atomically: the valid
+	// rule in the same batch must not be applied either, and the
+	// generation must not advance.
+	err := c.ApplyChanges([]Change{
+		{Pattern: "hot", Active: false},
+		{Pattern: "no_such_func", Active: false},
+		{Pattern: "also_missing", Active: true},
+	})
+	var ue *UnknownFuncError
+	if !errors.As(err, &ue) {
+		t.Fatalf("ApplyChanges = %v, want *UnknownFuncError", err)
+	}
+	if len(ue.Patterns) != 2 || ue.Patterns[0] != "no_such_func" || ue.Patterns[1] != "also_missing" {
+		t.Fatalf("UnknownFuncError.Patterns = %v", ue.Patterns)
+	}
+	if !c.Active(id) {
+		t.Fatal("rejected batch partially applied")
+	}
+	if c.Generation() != 0 {
+		t.Fatalf("rejected batch advanced generation to %d", c.Generation())
+	}
+	// Prefix patterns are exempt: they legitimately match functions
+	// registered later.
+	if err := c.ApplyChanges([]Change{{Pattern: "future_*", Active: false}}); err != nil {
+		t.Fatalf("prefix pattern rejected: %v", err)
+	}
+	if c.Generation() != 1 {
+		t.Fatalf("generation = %d after valid prefix change", c.Generation())
 	}
 }
 

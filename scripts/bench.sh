@@ -150,6 +150,46 @@ if [ "${1:-}" = "tenants" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "adapt" ]; then
+    # Adapt mode: the budget-5% adaptive cells (the feedback controller
+    # riding VT_confsync epochs on all four kernels), emitting
+    # OUTDIR/BENCH_PR8.json with per-kernel controller epoch cost,
+    # achieved overhead and retention at the budget, and recorded
+    # instrumentation events per host second.
+    OUTDIR=${OUTDIR:-bench.out}
+    BENCHTIME=${BENCHTIME:-2x}
+    mkdir -p "$OUTDIR"
+
+    echo "bench.sh: adapt sweep (budget 5% on all four kernels)" >&2
+    go test -run NONE -bench BenchmarkAdapt -benchtime "$BENCHTIME" \
+        -timeout 10m . | tee "$OUTDIR/adapt.txt" >&2
+
+    parse_bench "$OUTDIR/adapt.txt" | jq \
+        --arg date "$(date +%Y-%m-%d)" \
+        --arg go "$(go env GOVERSION)" \
+        --arg goos "$(go env GOOS)" \
+        --arg goarch "$(go env GOARCH)" \
+        --argjson ncpu "$(getconf _NPROCESSORS_ONLN)" \
+        '{pr: 8,
+          title: "Adaptive instrumentation: controller epoch cost and retention at budget 5%",
+          date: $date, go: $go, goos: $goos, goarch: $goarch, host_cpus: $ncpu,
+          commands: ["go test -bench BenchmarkAdapt ."],
+          budget: 0.05,
+          cells: [ .[] |
+            {kernel: (.name | split("/")[1] | split("-")[0]),
+             epochs: .epochs,
+             sim_s: .sim_s,
+             epoch_cost_ms: .ms_epoch,
+             overhead_pct: .overhead_pct,
+             retained_pct: .retained_pct,
+             events_per_sec: (.events_s | round),
+             wall_ms: (.ns_op / 1e6 | round)} ]}' \
+        > "$OUTDIR/BENCH_PR8.json"
+    echo "bench.sh: wrote $OUTDIR/BENCH_PR8.json" >&2
+    jq . "$OUTDIR/BENCH_PR8.json"
+    exit 0
+fi
+
 if [ "${1:-}" = "-s" ]; then
     # Smoke: prove the benchmarks still compile and run. One iteration,
     # fastest cells only; output is discarded, failure propagates.

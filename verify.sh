@@ -71,3 +71,14 @@ cmp "$smoke/scale1.txt" "$smoke/scale8.txt"
 "$smoke/experiments" -tenants -max-cpus 100 -parallel 1 > "$smoke/tenants1.txt"
 "$smoke/experiments" -tenants -max-cpus 100 -parallel 8 > "$smoke/tenants8.txt"
 cmp "$smoke/tenants1.txt" "$smoke/tenants8.txt"
+
+# Race pass over the adaptive controller (pure unit tests plus the serve
+# integration already covered above) and the adapt/policy cells.
+go test -race ./internal/adapt/
+go test -race -run 'TestAdaptConvergence|TestAdaptSpecKey|TestPolicySpecKeys' ./internal/exp/
+
+# Adapt smoke: the budget-sweep figure (feedback controller over all four
+# kernels) must render the same bytes at any host parallelism.
+"$smoke/experiments" -adapt -parallel 1 > "$smoke/adapt1.txt"
+"$smoke/experiments" -adapt -parallel 8 > "$smoke/adapt8.txt"
+cmp "$smoke/adapt1.txt" "$smoke/adapt8.txt"
