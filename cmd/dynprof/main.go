@@ -25,11 +25,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dynprof/internal/adapt"
 	"dynprof/internal/apps"
 	"dynprof/internal/core"
 	"dynprof/internal/des"
+	"dynprof/internal/fault"
 	"dynprof/internal/guide"
 	"dynprof/internal/machine"
 	"dynprof/internal/serve"
@@ -57,12 +59,19 @@ func run() error {
 	maxProbes := flag.Int("max-probes", 0, "serve mode: per-session probe quota (0 = unlimited)")
 	maxTrace := flag.Int64("max-trace-bytes", 0, "serve mode: per-session trace-byte quota (0 = unlimited)")
 	maxOps := flag.Float64("max-ops-per-sec", 0, "serve mode: per-session control-op rate quota in virtual time (0 = unlimited)")
+	lease := flag.Duration("lease", 0, "serve mode: session lease; a dropped client link suspends its session for this grace window (renewed by heartbeats) instead of evicting it (0 = no leases)")
+	daemonMTBF := flag.Duration("daemon-mtbf", 0, "inject a communication-daemon crash on every node at each multiple of this virtual-time interval (0 = fault-free)")
+	daemonRestart := flag.Duration("daemon-restart", 0, "downtime before a crashed daemon respawns (0 = built-in default)")
+	daemonCrashes := flag.Int("daemon-crashes", 1, "crash waves injected per node when -daemon-mtbf is set")
 	flag.Parse()
 	args := flag.Args()
 	if *serveAddr != "" {
 		mach, err := pickMachine(*machName)
 		if err != nil {
 			return err
+		}
+		if plan := crashPlan(mach.Nodes, *daemonMTBF, *daemonRestart, *daemonCrashes); plan != nil {
+			mach = mach.WithFaultPlan(plan)
 		}
 		ln, err := net.Listen("tcp", *serveAddr)
 		if err != nil {
@@ -72,6 +81,7 @@ func run() error {
 			Machine:     mach,
 			MaxSessions: *maxSessions,
 			MaxQueue:    *maxQueue,
+			Lease:       des.Time(*lease),
 			DefaultQuota: serve.Quota{
 				MaxProbes:     *maxProbes,
 				MaxTraceBytes: *maxTrace,
@@ -92,6 +102,10 @@ func run() error {
 	mach, err := pickMachine(*machName)
 	if err != nil {
 		return err
+	}
+	crashes := crashPlan(mach.Nodes, *daemonMTBF, *daemonRestart, *daemonCrashes)
+	if crashes != nil {
+		mach = mach.WithFaultPlan(crashes)
 	}
 	deck, err := parseDeck(args[4:])
 	if err != nil {
@@ -177,6 +191,21 @@ func run() error {
 
 	fmt.Fprintf(out, "dynprof: target finished; main computation %.4fs; create+instrument %.4fs\n",
 		ss.Job().MainElapsed().Seconds(), ss.CreateAndInstrumentTime().Seconds())
+	if crashes != nil {
+		var crashed, restarted, replayed int
+		for _, ev := range ss.Faults() {
+			switch ev.Kind {
+			case fault.KindDaemonCrash:
+				crashed++
+			case fault.KindDaemonRestart:
+				restarted++
+			case fault.KindLedgerReplay:
+				replayed++
+			}
+		}
+		fmt.Fprintf(out, "dynprof: recovery: %d daemon crashes, %d restarts, %d ledger replays, %d reconvergences\n",
+			crashed, restarted, replayed, ss.Recoveries())
+	}
 
 	if rt != nil {
 		sum := rt.Summary()
@@ -221,7 +250,33 @@ func serveJobs(ln net.Listener, cfg serve.Config, seed uint64, procs int, jobs [
 	}
 	fmt.Fprintf(os.Stderr, "dynprof: serving %s (jobs: %s; %d ranks each)\n",
 		ln.Addr(), strings.Join(jobs, ", "), procs)
-	return serve.NewBridge(sv, ln).Serve()
+	err := serve.NewBridge(sv, ln).Serve()
+	st := sv.Stats()
+	fmt.Fprintf(os.Stderr,
+		"dynprof: served %d sessions (%d evicted, %d suspended, %d resumed, %d lease-expired); %d probe-state recoveries\n",
+		st.Admitted, st.Evicted, st.Suspended, st.Resumed, st.Expired, len(sv.Recoveries()))
+	return err
+}
+
+// crashPlan derives an injected fault plan from the recovery flags: every
+// node's communication daemon is killed at each multiple of the MTBF, with
+// waves staggered slightly per node so they never land on one scheduler
+// tick. Returns nil (fault-free) when no MTBF is set.
+func crashPlan(nodes int, mtbf, restart time.Duration, waves int) *fault.Plan {
+	if mtbf <= 0 || waves <= 0 {
+		return nil
+	}
+	plan := &fault.Plan{}
+	for n := 0; n < nodes; n++ {
+		for k := 1; k <= waves; k++ {
+			plan.DaemonCrashes = append(plan.DaemonCrashes, fault.DaemonCrash{
+				Node:    n,
+				At:      des.Time(k)*des.Time(mtbf) + des.Time(n)*5*des.Millisecond,
+				Restart: des.Time(restart),
+			})
+		}
+	}
+	return plan
 }
 
 func pickMachine(name string) (*machine.Config, error) {

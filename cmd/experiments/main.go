@@ -71,6 +71,7 @@ func run() error {
 		scale    = flag.Bool("scale", false, "scale sweep: instrumented kernels at 1k/4k/16k ranks on the sharded DES")
 		tenants  = flag.Bool("tenants", false, "tenants sweep: control-op latency percentiles at 100/1k/10k concurrent sessions")
 		adapt    = flag.Bool("adapt", false, "adapt sweep: achieved overhead and retained events vs perturbation budget on all four kernels")
+		recoverF = flag.Bool("recover", false, "recover sweep: reconvergence latency, lost-event fraction, and co-tenant impact vs daemon MTBF")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		maxCPUs  = flag.Int("max-cpus", 0, "truncate CPU sweeps (0 = the paper's full range)")
 		seed     = flag.Uint64("seed", exp.DefaultSeed, "simulation seed")
@@ -242,6 +243,7 @@ func run() error {
 		{*scale, "scale"},
 		{*tenants, "tenants"},
 		{*adapt, "adapt"},
+		{*recoverF, "recover"},
 	} {
 		if f.on {
 			ids = append(ids, f.id)

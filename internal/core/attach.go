@@ -85,6 +85,7 @@ func AttachSessionWith(p *des.Proc, mach *machine.Config, job *guide.Job, acfg A
 	stop := ss.tf.Begin("attach", p.Now())
 	ss.cl = ss.sys.Connect(user)
 	ss.cl.Attach(p, job.Processes())
+	ss.armAutoRecover()
 	stop(p.Now())
 	ss.readyAt = p.Now()
 	return ss, nil

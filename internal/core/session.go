@@ -78,6 +78,13 @@ type Session struct {
 	ready       bool // init callback handled, spins released
 	quit        bool
 
+	// recoverObs observes each completed crash recovery (see
+	// SetRecoverObserver); recoveries counts them; repairSeq names the
+	// spawned repair processes deterministically.
+	recoverObs func(node, replayed int, latency des.Time)
+	recoveries int
+	repairSeq  int
+
 	sessionStart des.Time
 	readyAt      des.Time
 }
@@ -128,6 +135,7 @@ func NewSession(p *des.Proc, cfg Config) (*Session, error) {
 	stop = ss.tf.Begin("attach", p.Now())
 	ss.cl = ss.sys.Connect("dynprof")
 	ss.cl.Attach(p, job.Processes())
+	ss.armAutoRecover()
 	stop(p.Now())
 
 	stop = ss.tf.Begin("init-probe", p.Now())
@@ -453,6 +461,49 @@ func (ss *Session) Teardown() {
 		ss.cl.Disconnect()
 	}
 }
+
+// armAutoRecover subscribes the session to daemon restarts: each restart
+// spawns a deterministic repair process that replays the client's probe
+// ledger against the stale nodes, reconverging the target's instrumentation
+// to the session's desired state. Never fires on fault-free machines.
+func (ss *Session) armAutoRecover() {
+	ss.cl.SetRestartNotify(func(node int) {
+		ss.repairSeq++
+		start := ss.s.Now()
+		ss.s.Spawn(fmt.Sprintf("dynvt-repair.%d", ss.repairSeq), func(p *des.Proc) {
+			if ss.quit {
+				return // session torn down before the repair ran
+			}
+			replayed, err := ss.cl.Reconcile(p)
+			if err != nil {
+				fmt.Fprintf(ss.out, "dynprof: recovery on node %d: %v\n", node, err)
+				return
+			}
+			if replayed > 0 {
+				ss.recoveries++
+				if ss.recoverObs != nil {
+					ss.recoverObs(node, replayed, p.Now()-start)
+				}
+			}
+		})
+	})
+}
+
+// SetRecoverObserver installs fn, called after each completed crash
+// recovery with the restarted node, the number of per-target probe
+// replays, and the virtual latency from restart to reconvergence.
+func (ss *Session) SetRecoverObserver(fn func(node, replayed int, latency des.Time)) {
+	ss.recoverObs = fn
+}
+
+// Recoveries reports how many daemon-restart recoveries the session has
+// completed.
+func (ss *Session) Recoveries() int { return ss.recoveries }
+
+// Reconcile synchronously replays the probe ledger against any stale
+// nodes (normally the auto-recover repair process does this; scripted
+// tools can force it).
+func (ss *Session) Reconcile(p *des.Proc) (int, error) { return ss.cl.Reconcile(p) }
 
 // WaitAppExit blocks until the target finishes.
 func (ss *Session) WaitAppExit(p *des.Proc) { ss.job.WaitAll(p) }

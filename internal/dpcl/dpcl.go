@@ -13,9 +13,11 @@ package dpcl
 
 import (
 	"fmt"
+	"sort"
 
 	"dynprof/internal/des"
 	"dynprof/internal/fault"
+	"dynprof/internal/image"
 	"dynprof/internal/machine"
 	"dynprof/internal/proc"
 )
@@ -71,24 +73,36 @@ type System struct {
 	mach   *machine.Config
 	rng    *des.RNG
 	supers map[int]*superDaemon
+	// clients maps each connected user to its client, so a restarting
+	// daemon can notify the user's client of the new incarnation.
+	clients map[string]*Client
 	// inj injects the machine's control-path faults (message loss and
 	// extra delay). Nil on a fault-free machine, in which case every path
 	// below is exactly the pre-fault model.
 	inj *fault.Injector
+	// crashable is true when the fault plan schedules daemon crashes; it
+	// gates the incarnation/teardown bookkeeping so crash-free systems pay
+	// nothing for it.
+	crashable bool
 	// gate, when non-nil, fair-schedules daemon service time between the
 	// users sharing each node (see ServeGate).
 	gate ServeGate
 	// reclaim makes a shutting-down comm daemon release the suspends it
 	// applied but never saw resumed (see SetSuspendReclaim).
 	reclaim bool
+	// patience widens every retransmission timeout (see SetRetryPatience);
+	// zero falls back to crashPatience on crashable systems only.
+	patience des.Time
 }
 
 // NewSystem starts DPCL on the machine (super daemons are materialised
 // lazily per node).
 func NewSystem(s *des.Scheduler, mach *machine.Config) *System {
-	sys := &System{s: s, mach: mach, rng: s.RNG().Fork(), supers: make(map[int]*superDaemon)}
+	sys := &System{s: s, mach: mach, rng: s.RNG().Fork(), supers: make(map[int]*superDaemon),
+		clients: make(map[string]*Client)}
 	if plan := mach.FaultPlan(); !plan.IsZero() {
 		sys.inj = fault.NewInjector(plan, s.RNG().Fork())
+		sys.crashable = plan.HasDaemonCrashes()
 	}
 	return sys
 }
@@ -112,6 +126,15 @@ func (sys *System) SetServeGate(g ServeGate) { sys.gate = g }
 // semantics (and its exact event stream).
 func (sys *System) SetSuspendReclaim(on bool) { sys.reclaim = on }
 
+// SetRetryPatience widens every retransmission timeout by d. The default
+// timeout is derived from the control round trip plus the request's own
+// daemon-side cost, which undershoots when the bottleneck is the target:
+// suspending a long-slice resident job waits for a safe point the daemon
+// cannot hurry. Servers hosting such jobs set the safe-point bound here so
+// a slow ack is not mistaken for a lost message. Zero restores the
+// default (crashable systems then fall back to crashPatience).
+func (sys *System) SetRetryPatience(d des.Time) { sys.patience = d }
+
 // CommDaemons reports the number of live communication daemons across all
 // super daemons — the resource eviction must reclaim.
 func (sys *System) CommDaemons() int {
@@ -134,8 +157,66 @@ func (sys *System) super(node int) *superDaemon {
 	if !ok {
 		sd = &superDaemon{node: node, comms: make(map[string]*commDaemon)}
 		sys.supers[node] = sd
+		if sys.crashable {
+			for _, c := range sys.inj.Plan().CrashesOn(node) {
+				c := c
+				if c.At < sys.s.Now() {
+					continue // the node came up after this crash was due
+				}
+				sys.s.At(c.At, func() { sys.crashNode(sd, c) })
+			}
+		}
 	}
 	return sd
+}
+
+// crashNode kills every communication daemon alive on the node at the
+// crash instant, in deterministic (sorted-user) order. Daemons attached
+// after the crash instant are unaffected.
+func (sys *System) crashNode(sd *superDaemon, c fault.DaemonCrash) {
+	users := make([]string, 0, len(sd.comms))
+	for u := range sd.comms {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		sys.crashDaemon(sd.comms[u], c.RestartDelay())
+	}
+}
+
+// crashDaemon kills one communication daemon. An idle daemon (parked on
+// its inbox) dies immediately; a daemon mid-request finishes that request
+// first — the DES fair scheduler's service lane must never be abandoned
+// mid-grant — and then dies, which models the tracer crashing at its next
+// cancellation point.
+func (sys *System) crashDaemon(d *commDaemon, restart des.Time) {
+	if d.dead || d.dying {
+		return
+	}
+	d.restartDelay = restart
+	if d.idle {
+		sys.s.Kill(d.proc)
+		d.commitCrash()
+	} else {
+		d.dying = true
+	}
+}
+
+// restartDaemon respawns a crashed daemon with the next incarnation
+// number, unless the user has disconnected in the meantime (the super
+// daemon's registry no longer names the dead daemon).
+func (sys *System) restartDaemon(old *commDaemon) {
+	sd := sys.supers[old.node]
+	if sd == nil || sd.comms[old.user] != old {
+		return
+	}
+	nd := newCommDaemonIncarn(sys, old.node, old.user, old.incarn+1)
+	sd.comms[old.user] = nd
+	sys.inj.Record(sys.s.Now(), fault.KindDaemonRestart, old.node, -1,
+		fmt.Sprintf("dpcld %s incarnation %d up", old.user, nd.incarn))
+	if cl := sys.clients[old.user]; cl != nil {
+		cl.noteRestart(old.node, nd)
+	}
 }
 
 // commDaemon handles one user's instrumentation requests on one node.
@@ -144,15 +225,34 @@ type commDaemon struct {
 	node  int
 	user  string
 	inbox *des.Mailbox
+	proc  *des.Proc
+	// incarn is the daemon's incarnation number: 0 for the original
+	// daemon, bumped on every crash/restart cycle. Requests carry the
+	// incarnation the client believes in; a mismatch fences the request.
+	incarn uint64
+	// idle is true while the daemon is parked on its inbox — the only
+	// point where a crash may kill it instantly.
+	idle bool
+	// dying marks a crash that arrived mid-request: the daemon commits the
+	// crash after the current request completes.
+	dying bool
+	// dead marks a committed crash; the struct is inert from then on.
+	dead         bool
+	restartDelay des.Time
 	// lastArrive enforces FIFO delivery on the client→daemon connection:
 	// individual messages see jittered latency, but they cannot overtake
 	// one another (the connection is a stream).
 	lastArrive des.Time
 	// suspended tracks, per target, suspends this daemon applied minus
-	// resumes it applied (only under SetSuspendReclaim); suspOrder keeps
-	// release order deterministic.
+	// resumes it applied (under SetSuspendReclaim or a crashable plan);
+	// suspOrder keeps release order deterministic.
 	suspended map[*proc.Process]int
 	suspOrder []*proc.Process
+	// handles tracks probes this incarnation installed, by idempotency
+	// token (only on crashable systems): a crash tears its patches out of
+	// the targets, which is what clients must repair by ledger replay.
+	handles     map[uint64]*image.ProbeHandle
+	handleOrder []uint64
 }
 
 // deliver schedules m's arrival at the daemon after a jittered latency,
@@ -162,9 +262,15 @@ type commDaemon struct {
 // FIFO horizon: they never occupied the stream.
 func (d *commDaemon) deliver(m any) {
 	sys := d.sys
-	if req, isReq := m.(*request); isReq && sys.inj.DropCtrl() {
-		sys.inj.Record(sys.s.Now(), fault.KindCtrlDrop, d.node, reqRank(req), req.kind+" request lost")
-		return
+	if req, isReq := m.(*request); isReq {
+		if sys.inj.CtrlLostAt(sys.s.Now()) {
+			sys.inj.Record(sys.s.Now(), fault.KindCtrlDrop, d.node, reqRank(req), req.kind+" request lost (outage)")
+			return
+		}
+		if sys.inj.DropCtrl() {
+			sys.inj.Record(sys.s.Now(), fault.KindCtrlDrop, d.node, reqRank(req), req.kind+" request lost")
+			return
+		}
 	}
 	at := sys.s.Now() + sys.inj.ScaleCtrl(sys.delay())
 	if at < d.lastArrive {
@@ -182,16 +288,28 @@ func reqRank(req *request) int {
 	return req.target.Rank()
 }
 
-// newCommDaemon spawns the daemon's service loop.
+// newCommDaemon spawns the daemon's service loop (incarnation 0).
 func newCommDaemon(sys *System, node int, user string) *commDaemon {
-	d := &commDaemon{
-		sys:   sys,
-		node:  node,
-		user:  user,
-		inbox: des.NewMailbox(sys.s, fmt.Sprintf("dpcld.%d.%s", node, user)),
+	return newCommDaemonIncarn(sys, node, user, 0)
+}
+
+// newCommDaemonIncarn spawns a daemon with an explicit incarnation number
+// (restarts of a crashed daemon reuse the node/user pair with a bumped
+// incarnation; names stay byte-identical for incarnation 0).
+func newCommDaemonIncarn(sys *System, node int, user string, incarn uint64) *commDaemon {
+	suffix := ""
+	if incarn > 0 {
+		suffix = fmt.Sprintf(".r%d", incarn)
 	}
-	dp := sys.s.Spawn(fmt.Sprintf("dpcld@%d/%s", node, user), func(p *des.Proc) { d.serve(p) })
-	dp.SetDaemon(true)
+	d := &commDaemon{
+		sys:    sys,
+		node:   node,
+		user:   user,
+		incarn: incarn,
+		inbox:  des.NewMailbox(sys.s, fmt.Sprintf("dpcld.%d.%s%s", node, user, suffix)),
+	}
+	d.proc = sys.s.Spawn(fmt.Sprintf("dpcld@%d/%s%s", node, user, suffix), func(p *des.Proc) { d.serve(p) })
+	d.proc.SetDaemon(true)
 	return d
 }
 
@@ -203,26 +321,59 @@ type request struct {
 	cost   des.Time
 	reply  *des.Mailbox
 	tag    any
+	// token is the request's idempotency token: the daemon executes each
+	// token at most once per incarnation, so retransmits and ledger
+	// replays can never double-install. Assigned by Client.post; ledger
+	// installs reuse their entry's stable per-target token forever.
+	token uint64
+	// expect is the daemon incarnation the client believed in when it
+	// (re)posted the request; a daemon with a different incarnation fences
+	// the request off with a stale nack instead of executing it.
+	expect uint64
+	// installed is set by install actions to the handle they patched in,
+	// so the daemon can track (and a crash can tear out) its own probes.
+	installed *image.ProbeHandle
 }
 
 // shutdownReq stops a daemon loop (used on Client.Disconnect).
 type shutdownReq struct{}
 
 func (d *commDaemon) serve(p *des.Proc) {
-	// done dedups retransmitted requests (same *request pointer): the
-	// action ran once, lost acks are simply re-sent. Allocated only on
-	// faulted systems — retransmission cannot happen without faults.
-	var done map[*request]bool
+	// done dedups retransmitted and replayed requests by idempotency
+	// token: the action ran once, lost acks are simply re-sent. Allocated
+	// only on faulted systems — retransmission cannot happen without
+	// faults — and per incarnation, so a restarted daemon re-executes
+	// replayed installs exactly once.
+	var done map[uint64]bool
 	for {
+		d.idle = true
 		m := p.Recv(d.inbox)
+		d.idle = false
 		if _, stop := m.(shutdownReq); stop {
 			d.releaseSuspends()
 			return
 		}
 		req := m.(*request)
-		if done[req] {
+		if req.token != 0 && done[req.token] {
 			d.ackTo(req)
 			continue
+		}
+		if req.expect != d.incarn {
+			d.nackStale(req)
+			continue
+		}
+		// The process-level suspend count has no notion of ownership, so an
+		// unbalanced resume from this client would release some other
+		// controller's window — and if that controller's blocking suspend is
+		// still parked in WaitStopped, zeroing the count strands it forever
+		// (the threads never stop once the window evaporates). Execute a
+		// resume only against this daemon's own tracked balance; on systems
+		// without tracking a single controller keeps the count trivially
+		// balanced. The request is still acked below: resuming an
+		// unsuspended process is a no-op, not an error.
+		run := req.run
+		if req.kind == "resume" && (d.sys.reclaim || d.sys.crashable) && d.suspended[req.target] == 0 {
+			run = nil
 		}
 		if req.cost > 0 {
 			if g := d.sys.gate; g != nil {
@@ -231,20 +382,72 @@ func (d *commDaemon) serve(p *des.Proc) {
 				p.Advance(req.cost)
 			}
 		}
-		if req.run != nil {
-			req.run(p)
+		if run != nil {
+			run(p)
 		}
-		if d.sys.reclaim {
+		if req.installed != nil && d.sys.crashable {
+			if d.handles == nil {
+				d.handles = make(map[uint64]*image.ProbeHandle)
+			}
+			d.handles[req.token] = req.installed
+			d.handleOrder = append(d.handleOrder, req.token)
+			req.installed = nil
+		}
+		if d.sys.reclaim || d.sys.crashable {
 			d.trackSuspend(req)
 		}
-		if d.sys.inj != nil {
+		if d.sys.inj != nil && req.token != 0 {
 			if done == nil {
-				done = make(map[*request]bool)
+				done = make(map[uint64]bool)
 			}
-			done[req] = true
+			done[req.token] = true
 		}
 		d.ackTo(req)
+		if d.dying {
+			d.commitCrash()
+			return
+		}
 	}
+}
+
+// commitCrash finalises a daemon crash: its probes are torn out of the
+// targets (the tracer that owned the trampolines is gone, so events stop
+// flowing until a replay reinstalls them), stranded suspends are released
+// (the node-local kernel reaps the ptrace stops), and the super daemon is
+// scheduled to respawn the daemon after the restart delay.
+func (d *commDaemon) commitCrash() {
+	sys := d.sys
+	d.dead = true
+	d.dying = false
+	sys.inj.Record(sys.s.Now(), fault.KindDaemonCrash, d.node, -1,
+		fmt.Sprintf("dpcld %s incarnation %d killed", d.user, d.incarn))
+	for _, tok := range d.handleOrder {
+		if h := d.handles[tok]; h != nil && !h.Removed() {
+			h.Remove() // the owner is dead; the error has nowhere to go
+		}
+	}
+	d.handles, d.handleOrder = nil, nil
+	d.releaseSuspends()
+	old := d
+	sys.s.After(d.restartDelay, func() { sys.restartDaemon(old) })
+}
+
+// nackStale refuses a request carrying a previous incarnation's number:
+// the daemon that staged its context is gone, so executing it blind could
+// double-install or touch freed trampolines. The nack tells the client to
+// reconcile (replay its ledger) and re-post with the new incarnation.
+func (d *commDaemon) nackStale(req *request) {
+	sys := d.sys
+	sys.inj.Record(sys.s.Now(), fault.KindCtrlStale, d.node, reqRank(req),
+		fmt.Sprintf("%s fenced (incarnation %d, daemon at %d)", req.kind, req.expect, d.incarn))
+	if req.reply == nil {
+		return
+	}
+	if sys.inj.CtrlLostAt(sys.s.Now()) || sys.inj.DropCtrl() {
+		sys.inj.Record(sys.s.Now(), fault.KindCtrlDrop, d.node, reqRank(req), req.kind+" stale nack lost")
+		return
+	}
+	req.reply.PutAfter(sys.inj.ScaleCtrl(sys.delay()), ack{kind: req.kind, tag: req.tag, stale: true, incarn: d.incarn})
 }
 
 // trackSuspend maintains the daemon's suspend balance per target (under
@@ -288,16 +491,24 @@ func (d *commDaemon) ackTo(req *request) {
 		return
 	}
 	sys := d.sys
+	if sys.inj.CtrlLostAt(sys.s.Now()) {
+		sys.inj.Record(sys.s.Now(), fault.KindCtrlDrop, d.node, reqRank(req), req.kind+" ack lost (outage)")
+		return
+	}
 	if sys.inj.DropCtrl() {
 		sys.inj.Record(sys.s.Now(), fault.KindCtrlDrop, d.node, reqRank(req), req.kind+" ack lost")
 		return
 	}
-	req.reply.PutAfter(sys.inj.ScaleCtrl(sys.delay()), ack{kind: req.kind, tag: req.tag})
+	req.reply.PutAfter(sys.inj.ScaleCtrl(sys.delay()), ack{kind: req.kind, tag: req.tag, incarn: d.incarn})
 }
 
 type ack struct {
 	kind string
 	tag  any
+	// stale marks a fencing nack: the daemon refused the request because
+	// it carried a previous incarnation's number.
+	stale  bool
+	incarn uint64
 }
 
 // Delay draws one jittered control-message latency — the per-node delivery
@@ -329,19 +540,36 @@ type Client struct {
 	byNode map[int]*commDaemon
 	procs  []*proc.Process
 	nodes  map[*proc.Process]int
+
+	// nextToken feeds idempotency-token assignment (see request.token).
+	nextToken uint64
+	// ledger is the client's desired probe state, in install order; it is
+	// what a restarted daemon's node is reconverged to by replay.
+	ledger  []*ledgerEntry
+	byProbe map[*Probe]*ledgerEntry
+	// stale marks nodes whose daemon restarted (or fenced a request)
+	// since the client last reconciled.
+	stale map[int]bool
+	// reconciling guards against reentrant replay: the repair pass itself
+	// issues control requests whose acks can report further staleness.
+	reconciling bool
+	replays     int
+	onRestart   func(node int)
 }
 
 // Connect authenticates user against the super daemons; per-node
 // communication daemons are created as processes on those nodes are
 // attached.
 func (sys *System) Connect(user string) *Client {
-	return &Client{
+	cl := &Client{
 		sys:    sys,
 		user:   user,
 		events: des.NewMailbox(sys.s, "dpcl.events."+user),
 		byNode: make(map[int]*commDaemon),
 		nodes:  make(map[*proc.Process]int),
 	}
+	sys.clients[user] = cl
+	return cl
 }
 
 // Attach connects the client to the target processes, creating (and
@@ -393,7 +621,20 @@ func (cl *Client) post(p *des.Proc, pr *proc.Process, req *request, reply bool) 
 		req.reply = des.NewMailbox(cl.sys.s, "dpcl.reply")
 	}
 	req.target = pr
-	cl.daemonFor(pr).deliver(req)
+	if req.token == 0 {
+		cl.nextToken++
+		req.token = cl.nextToken
+	}
+	// A repair proc's replay can race the session's own eviction or quit:
+	// Disconnect tears the daemon bindings out from under it. Posting into
+	// the void is safe — the collect loop's timeouts bound the wait — and
+	// only reachable on crashable systems, where collects always time-bound.
+	d := cl.daemonFor(pr)
+	if d == nil {
+		return req.reply
+	}
+	req.expect = d.incarn
+	d.deliver(req)
 	return req.reply
 }
 
@@ -407,18 +648,42 @@ const (
 	retryAttempts    = 6
 )
 
+// crashPatience is the extra per-attempt grace a crash-aware client adds
+// to its retransmit timer. Under a plan that crashes daemons, a request
+// that looks lost is more often just parked: behind a daemon restart
+// window, or behind a suspend waiting for its target to reach the next
+// safe point (coarse-grained targets take hundreds of milliseconds between
+// safe points). Retransmitting into that wait only wastes daemon time, and
+// giving up on it falsely evicts healthy sessions. Loss-only plans keep
+// the tight timer — there a silent daemon really does mean a lost message,
+// and fast retransmission is what recovers it.
+const crashPatience = 250 * des.Millisecond
+
 // pendingAck tracks one acknowledged request in flight.
 type pendingAck struct {
 	pr  *proc.Process
 	req *request
 }
 
+// maxFenceRounds bounds how many times one collect will reconcile and
+// re-post requests fenced by daemon restarts before giving up (each round
+// needs a fresh crash to land mid-transaction, so depth means a daemon
+// crash-looping faster than the control path can reconverge).
+const maxFenceRounds = 8
+
 // collect drains one ack per pending request (blocking the client). On a
 // fault-free system this is a plain blocking Recv per ack — the pre-fault
 // behaviour. On a faulted system each ack is awaited with a timeout;
 // timeouts retransmit with exponential backoff and eventually give up,
-// returning the first timeout error.
+// returning a typed *GiveUpError. Stale nacks (the daemon restarted under
+// the request) trigger a ledger reconcile, after which the fenced requests
+// are re-posted under the new incarnation — their idempotency tokens make
+// the re-post safe even if the original executed before the crash.
 func (cl *Client) collect(p *des.Proc, pending []pendingAck) error {
+	return cl.collectRound(p, pending, 0)
+}
+
+func (cl *Client) collectRound(p *des.Proc, pending []pendingAck, round int) error {
 	if cl.sys.inj == nil {
 		for _, pa := range pending {
 			p.Recv(pa.req.reply)
@@ -426,28 +691,56 @@ func (cl *Client) collect(p *des.Proc, pending []pendingAck) error {
 		return nil
 	}
 	var firstErr error
+	var fenced []pendingAck
 	for _, pa := range pending {
 		rto := cl.sys.inj.ScaleCtrl(retrySlackFactor*cl.sys.mach.DaemonLatency) + pa.req.cost
+		if cl.sys.patience > 0 {
+			rto += cl.sys.patience
+		} else if cl.sys.crashable {
+			rto += crashPatience
+		}
 		acked := false
 		for attempt := 0; attempt < retryAttempts; attempt++ {
-			if _, ok := p.RecvTimeout(pa.req.reply, rto<<attempt); ok {
+			if m, ok := p.RecvTimeout(pa.req.reply, rto<<attempt); ok {
+				if a, isAck := m.(ack); isAck && a.stale {
+					cl.noteStale(pa.pr)
+					fenced = append(fenced, pa)
+				}
 				acked = true
 				break
 			}
 			if attempt < retryAttempts-1 {
 				cl.sys.inj.Record(p.Now(), fault.KindCtrlRetry, pa.pr.Node(), pa.pr.Rank(),
 					fmt.Sprintf("%s retransmit #%d", pa.req.kind, attempt+1))
-				cl.daemonFor(pa.pr).deliver(pa.req)
+				if d := cl.daemonFor(pa.pr); d != nil {
+					d.deliver(pa.req)
+				}
 			}
 		}
 		if !acked {
 			cl.sys.inj.Record(p.Now(), fault.KindCtrlTimeout, pa.pr.Node(), pa.pr.Rank(),
 				fmt.Sprintf("%s gave up after %d attempts", pa.req.kind, retryAttempts))
 			if firstErr == nil {
-				firstErr = fmt.Errorf("dpcl: %s request to %s timed out after %d attempts",
-					pa.req.kind, pa.pr.Name(), retryAttempts)
+				firstErr = &GiveUpError{Kind: pa.req.kind, Target: pa.pr.Name(), Attempts: retryAttempts}
 			}
 		}
+	}
+	if len(fenced) > 0 && firstErr == nil {
+		if round >= maxFenceRounds {
+			return fmt.Errorf("dpcl: requests still fenced after %d reconcile rounds", round)
+		}
+		if _, err := cl.Reconcile(p); err != nil {
+			return err
+		}
+		for _, pa := range fenced {
+			d := cl.daemonFor(pa.pr)
+			if d == nil {
+				continue // disconnected mid-collect; the retry budget drains it
+			}
+			pa.req.expect = d.incarn
+			d.deliver(pa.req)
+		}
+		return cl.collectRound(p, fenced, round+1)
 	}
 	return firstErr
 }
@@ -476,4 +769,7 @@ func (cl *Client) Disconnect() {
 		delete(sd.comms, cl.user)
 	}
 	cl.byNode = make(map[int]*commDaemon)
+	if cl.sys.clients[cl.user] == cl {
+		delete(cl.sys.clients, cl.user)
+	}
 }

@@ -1,7 +1,7 @@
 package dpcl
 
 import (
-	"fmt"
+	"sort"
 
 	"dynprof/internal/des"
 	"dynprof/internal/image"
@@ -18,36 +18,41 @@ type Probe struct {
 	hands map[*proc.Process]*image.ProbeHandle
 }
 
+// targets returns the probe's patched processes in rank order: hands is
+// keyed by pointer, so posting requests straight off a map walk would make
+// per-request jitter draws — and with them the whole simulation — depend
+// on Go's randomised map iteration.
+func (probe *Probe) targets() []*proc.Process {
+	ts := make([]*proc.Process, 0, len(probe.hands))
+	for pr := range probe.hands {
+		ts = append(ts, pr)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Rank() < ts[j].Rank() })
+	return ts
+}
+
 // InstallProbe patches snippet code at sym's probe point in every target
 // process, blocking until all daemons acknowledge. mk builds the snippet
 // for each process (snippets call into per-process library instances).
 // The probe is installed inactive; use Activate.
+//
+// The install is recorded in the client's probe ledger before the first
+// request goes out, so a daemon restart at any point reconverges to it.
+// On failure — including a typed *GiveUpError when a daemon never
+// acknowledges — the ledger entry is dropped again and any targets that
+// did install are rolled back, so a failed install never leaves the probe
+// half-staged.
 func (cl *Client) InstallProbe(p *des.Proc, procs []*proc.Process,
 	sym string, kind image.PointKind, exit int, name string,
 	mk func(pr *proc.Process) image.Snippet) (*Probe, error) {
 
 	probe := &Probe{Sym: sym, Kind: kind, Exit: exit, Name: name,
 		hands: make(map[*proc.Process]*image.ProbeHandle, len(procs))}
+	e := cl.addLedger(probe, mk, procs)
 	var errs []error
 	var pending []pendingAck
 	for _, pr := range procs {
-		pr := pr
-		req := &request{kind: "install", cost: installTime, run: func(dp *des.Proc) {
-			img := pr.Image()
-			s, ok := img.Lookup(sym)
-			if !ok {
-				errs = append(errs, fmt.Errorf("dpcl: %s: no symbol %q", pr.Name(), sym))
-				return
-			}
-			id := img.NewSnippetID()
-			img.BindSnippet(id, name, mk(pr))
-			h, err := img.InsertProbe(s, kind, exit, id)
-			if err != nil {
-				errs = append(errs, fmt.Errorf("dpcl: %s: %w", pr.Name(), err))
-				return
-			}
-			probe.hands[pr] = h
-		}}
+		req := cl.installReq(e, pr, &errs)
 		cl.post(p, pr, req, true)
 		pending = append(pending, pendingAck{pr: pr, req: req})
 	}
@@ -55,6 +60,8 @@ func (cl *Client) InstallProbe(p *des.Proc, procs []*proc.Process,
 		errs = append(errs, err)
 	}
 	if len(errs) > 0 {
+		cl.dropLedger(probe)
+		cl.rollbackInstall(p, probe)
 		return nil, errs[0]
 	}
 	return probe, nil
@@ -73,11 +80,20 @@ func (cl *Client) Deactivate(p *des.Proc, probe *Probe) error {
 }
 
 func (cl *Client) toggle(p *des.Proc, probe *Probe, active bool) error {
+	// Desired state first: a replay triggered while these toggles are in
+	// flight must already see the client's latest intent.
+	if e := cl.byProbe[probe]; e != nil {
+		e.active = active
+	}
 	var pending []pendingAck
-	for pr, h := range probe.hands {
-		h := h
+	for _, pr := range probe.targets() {
+		pr := pr
 		req := &request{kind: "toggle", cost: toggleTime, run: func(dp *des.Proc) {
-			h.SetActive(active)
+			// Resolve the handle at execution time: a crash may have torn
+			// the original out and a replay re-installed a fresh one.
+			if h := probe.hands[pr]; h != nil && !h.Removed() {
+				h.SetActive(active)
+			}
 		}}
 		cl.post(p, pr, req, true)
 		pending = append(pending, pendingAck{pr: pr, req: req})
@@ -88,11 +104,18 @@ func (cl *Client) toggle(p *des.Proc, probe *Probe, active bool) error {
 // Remove unlinks the probe from every process, restoring pristine code at
 // probe points whose last snippet goes away.
 func (cl *Client) Remove(p *des.Proc, probe *Probe) error {
+	// Desired state first: drop the ledger entry before the removes go
+	// out, so a concurrent replay does not resurrect the probe.
+	cl.dropLedger(probe)
 	var errs []error
 	var pending []pendingAck
-	for pr, h := range probe.hands {
-		h := h
+	for _, pr := range probe.targets() {
+		pr := pr
 		req := &request{kind: "remove", cost: removeTime, run: func(dp *des.Proc) {
+			h := probe.hands[pr]
+			if h == nil || h.Removed() {
+				return // already gone (a daemon crash tore it out)
+			}
 			if err := h.Remove(); err != nil {
 				errs = append(errs, err)
 			}
@@ -135,13 +158,27 @@ func (cl *Client) Suspend(p *des.Proc, procs []*proc.Process, blocking bool) err
 }
 
 // Resume releases suspended target processes (unacknowledged, like the
-// asynchronous continue in DPCL).
+// asynchronous continue in DPCL). On a crash-prone system the release is
+// acknowledged and retransmitted like any other control request: a lost
+// resume would otherwise leave the target parked until its daemon is torn
+// down, freezing the rank for the rest of the session. A transaction that
+// still gives up is abandoned silently — daemon teardown releases whatever
+// balance remains.
 func (cl *Client) Resume(p *des.Proc, procs []*proc.Process) {
+	reliable := cl.sys.crashable
+	var pending []pendingAck
 	for _, pr := range procs {
 		pr := pr
-		cl.post(p, pr, &request{kind: "resume", cost: resumeTime, run: func(dp *des.Proc) {
+		req := &request{kind: "resume", cost: resumeTime, run: func(dp *des.Proc) {
 			pr.Resume()
-		}}, false)
+		}}
+		cl.post(p, pr, req, reliable)
+		if reliable {
+			pending = append(pending, pendingAck{pr: pr, req: req})
+		}
+	}
+	if reliable {
+		_ = cl.collect(p, pending)
 	}
 }
 

@@ -68,6 +68,9 @@ func planFor(id string, opts Options) (*figurePlan, error) {
 	case "adapt":
 		// Also on demand only, for the same reason as "scale".
 		return planAdapt(opts), nil
+	case "recover":
+		// Also on demand only, for the same reason as "scale".
+		return planRecover(opts), nil
 	default:
 		return nil, fmt.Errorf("exp: unknown figure %q (have %v)", id, FigureIDs())
 	}
@@ -418,6 +421,8 @@ func virtualOf(val any) des.Time {
 		return v.Elapsed
 	case AdaptResult:
 		return v.Elapsed
+	case RecoverResult:
+		return v.Elapsed
 	}
 	return 0
 }
@@ -430,6 +435,8 @@ func eventsOf(val any) uint64 {
 	case TenantsResult:
 		return v.Events
 	case AdaptResult:
+		return v.Events
+	case RecoverResult:
 		return v.Events
 	}
 	return 0
@@ -445,6 +452,8 @@ func faultsOf(val any) []fault.Event {
 	case HybridResult:
 		return v.Faults
 	case AdaptResult:
+		return v.Faults
+	case RecoverResult:
 		return v.Faults
 	}
 	return nil

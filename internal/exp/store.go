@@ -24,6 +24,7 @@ type storeRecord struct {
 	Scale    *ScaleResult    `json:"scale,omitempty"`
 	Tenants  *TenantsResult  `json:"tenants,omitempty"`
 	Adapt    *AdaptResult    `json:"adapt,omitempty"`
+	Recover  *RecoverResult  `json:"recover,omitempty"`
 }
 
 // value returns the record's typed result.
@@ -41,6 +42,8 @@ func (rec *storeRecord) value() (any, error) {
 		return *rec.Tenants, nil
 	case rec.Adapt != nil:
 		return *rec.Adapt, nil
+	case rec.Recover != nil:
+		return *rec.Recover, nil
 	}
 	return nil, fmt.Errorf("exp: store record %q carries no result", rec.Key)
 }
@@ -148,6 +151,8 @@ func (st *Store) Put(key string, val any) error {
 		rec.Tenants = &v
 	case AdaptResult:
 		rec.Adapt = &v
+	case RecoverResult:
+		rec.Recover = &v
 	default:
 		return fmt.Errorf("exp: store: unstorable cell result %T for %q", val, key)
 	}
@@ -204,6 +209,8 @@ func (st *Store) Compact() error {
 			rec.Tenants = &v
 		case AdaptResult:
 			rec.Adapt = &v
+		case RecoverResult:
+			rec.Recover = &v
 		}
 		if err := enc.Encode(rec); err != nil {
 			tmp.Close()

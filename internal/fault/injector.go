@@ -31,6 +31,19 @@ const (
 	// KindOverflow notes a trace buffer hitting its bound and the policy
 	// that absorbed it.
 	KindOverflow Kind = "trace-overflow"
+	// KindDaemonCrash notes a communication daemon being killed.
+	KindDaemonCrash Kind = "daemon-crash"
+	// KindDaemonRestart notes a crashed daemon's respawn (new incarnation).
+	KindDaemonRestart Kind = "daemon-restart"
+	// KindLedgerReplay notes a client replaying its probe ledger against a
+	// restarted daemon.
+	KindLedgerReplay Kind = "ledger-replay"
+	// KindCtrlStale notes a request fenced off by a daemon because it
+	// carried a previous incarnation's number.
+	KindCtrlStale Kind = "ctrl-stale"
+	// KindLinkDrop notes a tool client's link to the session server going
+	// down (the session suspends under its lease).
+	KindLinkDrop Kind = "link-drop"
 )
 
 // Event is one observed fault occurrence, suitable for the -jsonl stream.
@@ -108,6 +121,21 @@ func (in *Injector) DropCtrl() bool {
 		return true
 	}
 	return in.rng.Float64() < in.plan.CtrlLossProb
+}
+
+// CtrlLostAt reports whether a control message sent at the given instant
+// falls inside a planned control outage. Deterministic — no RNG draw —
+// and false on the nil injector.
+func (in *Injector) CtrlLostAt(now des.Time) bool {
+	if in == nil {
+		return false
+	}
+	for _, o := range in.plan.CtrlOutages {
+		if now >= o.At && now < o.End() && o.Duration > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // ScaleCtrl stretches a control-message latency by the plan's delay

@@ -118,6 +118,7 @@ type mini struct {
 	at      Addr
 	snippet int64
 	active  bool
+	removed bool
 }
 
 const (
@@ -277,6 +278,10 @@ func (h *ProbeHandle) Kind() PointKind { return h.kind }
 // Active reports whether the probe currently fires when executed.
 func (h *ProbeHandle) Active() bool { return h.mini.active }
 
+// Removed reports whether the probe has been unlinked from its chain (its
+// handle is dead; recovery paths must not touch it again).
+func (h *ProbeHandle) Removed() bool { return h.mini.removed }
+
 // InsertProbe patches a probe into sym at the given point: if the probe
 // point is not yet displaced, a base trampoline is synthesised (relocating
 // the original word and bracketing it with register save/restore), and the
@@ -375,6 +380,7 @@ func (h *ProbeHandle) Remove() error {
 		return fmt.Errorf("image %s: probe already removed from %s %s", h.img.name, h.sym.Name, h.kind)
 	}
 	t.minis = append(t.minis[:idx], t.minis[idx+1:]...)
+	h.mini.removed = true
 	h.img.freeWords(h.mini.at, miniWords)
 	h.img.mutated()
 	if len(t.minis) == 0 {
@@ -417,6 +423,26 @@ func (img *Image) ChainLen(sym *Symbol, kind PointKind, exitIndex int) int {
 		return len(t.minis)
 	}
 	return 0
+}
+
+// ActiveProbes reports how many of a probe point's mini-trampolines are
+// currently active — the observable instrumentation state recovery paths
+// must reconverge (addresses and snippet IDs of a reinstalled probe may
+// legitimately differ; its firing behaviour may not).
+func (img *Image) ActiveProbes(sym *Symbol, kind PointKind, exitIndex int) int {
+	at, err := probeAddr(sym, kind, exitIndex)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	if t, ok := img.tramps[at]; ok {
+		for _, m := range t.minis {
+			if m.active {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // PatchedSymbols lists the names of symbols with at least one live probe,

@@ -1,0 +1,212 @@
+package serve
+
+// Internal tests for leased sessions and eviction idempotency: these poke
+// the unexported evict/suspend machinery directly, which the external
+// protocol-level tests cannot.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dynprof/internal/des"
+	"dynprof/internal/machine"
+)
+
+// newLeaseRig builds a server with one 4-rank resident job; done is called
+// by each tenant proc on completion and shuts the server down after the
+// last one.
+func newLeaseRig(t *testing.T, seed uint64, cfg Config, tenants int) (*des.Scheduler, *Server, func()) {
+	t.Helper()
+	if cfg.Machine == nil {
+		cfg.Machine = machine.MustNew("ibm-power3")
+	}
+	s := des.NewScheduler(seed)
+	sv := New(s, cfg)
+	if _, err := sv.RegisterResident("smg", 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	remaining := tenants
+	done := func() {
+		remaining--
+		if remaining == 0 {
+			sv.Shutdown()
+		}
+	}
+	return s, sv, done
+}
+
+// TestLeaseSuspendResume: a suspended session resumes by token inside the
+// grace window with probes, quota state, and identity intact, and keeps
+// working afterwards.
+func TestLeaseSuspendResume(t *testing.T) {
+	s, sv, done := newLeaseRig(t, 31, Config{Lease: 2 * des.Second}, 1)
+	s.Spawn("client", func(p *des.Proc) {
+		defer done()
+		p.Advance(des.Millisecond)
+		sn, err := sv.Open(p, "alice", "smg", nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tok := sn.Token()
+		if tok == "" {
+			t.Fatal("session has no token")
+		}
+		if err := sn.Insert(p, "smg_solve"); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+		if _, err := sv.ResumeSession(tok); err == nil {
+			t.Error("resume of a connected session must fail")
+		}
+
+		sv.SuspendSession(sn)
+		if !sn.Suspended() {
+			t.Fatal("session not suspended")
+		}
+		sv.SuspendSession(sn) // idempotent: no second stats bump
+		p.Advance(des.Second) // inside the 2s grace window
+
+		got, err := sv.ResumeSession(tok)
+		if err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if got != sn {
+			t.Fatal("resume returned a different session")
+		}
+		if sn.Suspended() {
+			t.Error("session still suspended after resume")
+		}
+		if is := strings.Join(sn.Instrumented(), ","); is != "smg_solve" {
+			t.Errorf("instrumented after resume = %q, want smg_solve", is)
+		}
+		// The session must keep working: new ops renew the lease, and the
+		// stale watcher from the suspend must not fire.
+		if err := sn.Insert(p, "smg_relax"); err != nil {
+			t.Errorf("insert after resume: %v", err)
+		}
+		p.Advance(3 * des.Second)
+		if ev, reason := sn.Evicted(); ev {
+			t.Errorf("resumed session evicted: %s", reason)
+		}
+		if err := sn.Remove(p, "smg_solve", "smg_relax"); err != nil {
+			t.Errorf("remove after resume: %v", err)
+		}
+		sn.Close(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := sv.Stats()
+	if st.Suspended != 1 || st.Resumed != 1 || st.Expired != 0 || st.Evicted != 0 || st.Closed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if sv.active != 0 {
+		t.Errorf("active = %d after close", sv.active)
+	}
+}
+
+// TestLeaseExpiryEvicts: a suspended session that never resumes is evicted
+// through the ordinary eviction path when its lease runs out, and a late
+// resume attempt reports the eviction.
+func TestLeaseExpiryEvicts(t *testing.T) {
+	s, sv, done := newLeaseRig(t, 37, Config{Lease: 500 * des.Millisecond}, 1)
+	var sn *Session
+	var tok string
+	s.Spawn("client", func(p *des.Proc) {
+		defer done()
+		p.Advance(des.Millisecond)
+		var err error
+		sn, err = sv.Open(p, "bob", "smg", nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tok = sn.Token()
+		if err := sn.Insert(p, "smg_solve"); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+		sv.SuspendSession(sn)
+		p.Advance(2 * des.Second) // well past the 500ms grace window
+		if _, err := sv.ResumeSession(tok); !errors.Is(err, ErrEvicted) {
+			t.Errorf("late resume = %v, want ErrEvicted", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ev, reason := sn.Evicted(); !ev || !strings.Contains(reason, "lease expired") {
+		t.Errorf("eviction = %v %q", ev, reason)
+	}
+	st := sv.Stats()
+	if st.Suspended != 1 || st.Expired != 1 || st.Evicted != 1 || st.Resumed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if sv.active != 0 {
+		t.Errorf("active = %d after lease eviction", sv.active)
+	}
+}
+
+// TestEvictIdempotent pins the eviction-idempotency fix: double eviction,
+// eviction after close, and eviction of a suspended session each release
+// the admission slot and bump the stats exactly once.
+func TestEvictIdempotent(t *testing.T) {
+	s, sv, done := newLeaseRig(t, 41, Config{Lease: des.Second}, 1)
+	s.Spawn("client", func(p *des.Proc) {
+		defer done()
+		p.Advance(des.Millisecond)
+
+		// Double eviction: the second call must not touch stats or the slot.
+		sn1, err := sv.Open(p, "u1", "smg", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv.evict(p, sn1, "first reason")
+		sv.evict(p, sn1, "second reason")
+		if _, reason := sn1.Evicted(); reason != "first reason" {
+			t.Errorf("reason overwritten to %q", reason)
+		}
+		if st := sv.Stats(); st.Evicted != 1 {
+			t.Errorf("double evict: stats = %+v", st)
+		}
+
+		// Eviction after close is a no-op.
+		sn2, err := sv.Open(p, "u2", "smg", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn2.Close(p)
+		sv.evict(p, sn2, "too late")
+		if ev, _ := sn2.Evicted(); ev {
+			t.Error("closed session marked evicted")
+		}
+		if st := sv.Stats(); st.Evicted != 1 || st.Closed != 1 {
+			t.Errorf("evict after close: stats = %+v", st)
+		}
+
+		// Eviction of a suspended session clears the suspension; the armed
+		// lease watcher must then disarm without a second eviction.
+		sn3, err := sv.Open(p, "u3", "smg", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv.SuspendSession(sn3)
+		sv.evict(p, sn3, "quota while suspended")
+		if sn3.Suspended() {
+			t.Error("evicted session still suspended")
+		}
+		p.Advance(3 * des.Second) // ride past the watcher's scheduled expiry
+		if st := sv.Stats(); st.Evicted != 2 || st.Expired != 0 {
+			t.Errorf("evict while suspended: stats = %+v", st)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sv.active != 0 {
+		t.Errorf("active = %d, want 0 (every path released its slot once)", sv.active)
+	}
+	if _, err := sv.ResumeSession("sess-999999"); err == nil {
+		t.Error("resume of an unknown token must fail")
+	}
+}

@@ -25,6 +25,17 @@ type protoReq struct {
 	eof  bool
 }
 
+// seqState is one command stream's request-sequence state: the highest
+// sequence number executed and the reply it produced. A retransmitted
+// (duplicate) sequence number replays the cached reply without
+// re-executing the command. The state lives on the Session once one is
+// bound, so duplicate suppression survives a drop-and-resume onto a new
+// connection; sessionless commands fall back to per-connection state.
+type seqState struct {
+	last  uint64
+	reply string
+}
+
 // protoConn is the bridge's per-connection state. The reader goroutine
 // only reads from c and sends on the bridge's request channel; everything
 // else (including every write to c) happens on the bridge loop goroutine,
@@ -35,6 +46,9 @@ type protoConn struct {
 	w   *bufio.Writer
 	ack chan struct{}
 	sn  *Session
+	seq seqState
+	// rec, when non-nil, captures the next reply line for seq caching.
+	rec *string
 }
 
 // Bridge serves the dynprof line protocol on top of a Server: one
@@ -170,10 +184,17 @@ func (b *Bridge) dispatch(req protoReq) {
 	})
 }
 
-// drop closes a departed connection's session and forgets the connection.
+// drop handles a departed connection. With leasing enabled the session is
+// suspended — the client gets a grace window to reconnect and resume by
+// token — otherwise (or if the session is already gone) it is closed, the
+// pre-lease behaviour.
 func (b *Bridge) drop(p *des.Proc, pc *protoConn) {
 	if pc.sn != nil {
-		pc.sn.Close(p)
+		if b.sv.cfg.Lease > 0 {
+			b.sv.SuspendSession(pc.sn)
+		} else {
+			pc.sn.Close(p)
+		}
 		pc.sn = nil
 	}
 	pc.c.Close()
@@ -198,14 +219,72 @@ func (b *Bridge) shutdown() {
 }
 
 func (b *Bridge) reply(pc *protoConn, format string, args ...any) {
-	fmt.Fprintf(pc.w, format+"\n", args...)
+	line := fmt.Sprintf(format, args...)
+	if pc.rec != nil {
+		*pc.rec = line
+	}
+	fmt.Fprintf(pc.w, "%s\n", line)
 	pc.w.Flush()
+}
+
+// replyRaw writes a pre-formatted reply line without seq capture (used to
+// replay a cached reply for a duplicate sequence number).
+func (b *Bridge) replyRaw(pc *protoConn, line string) {
+	fmt.Fprintf(pc.w, "%s\n", line)
+	pc.w.Flush()
+}
+
+// seqFor picks the sequence state a connection's commands check against:
+// the bound session's (survives reconnects) or the connection's own.
+func (pc *protoConn) seqFor() *seqState {
+	if pc.sn != nil {
+		return &pc.sn.seq
+	}
+	return &pc.seq
 }
 
 // handle executes one command line for one connection, inside handler
 // Proc p, and writes exactly one reply line.
+//
+// A leading all-digit token is a request sequence number (commands never
+// start with a digit): a client unsure whether its last request survived a
+// link drop re-sends it under the same number after resuming, and the
+// bridge replays the cached reply instead of executing the command twice.
+// Sequence numbers must be >= 1 and ascending; a number below the last
+// executed one is rejected as stale.
 func (b *Bridge) handle(p *des.Proc, pc *protoConn, line string) {
 	fields := strings.Fields(line)
+	var seq uint64
+	if n, err := strconv.ParseUint(fields[0], 10, 64); err == nil {
+		if n == 0 {
+			b.reply(pc, "err bad seq 0 (sequence numbers start at 1)")
+			return
+		}
+		seq = n
+		fields = fields[1:]
+		if len(fields) == 0 {
+			b.reply(pc, "err seq %d without a command", seq)
+			return
+		}
+		st := pc.seqFor()
+		if seq == st.last {
+			b.replyRaw(pc, st.reply)
+			return
+		}
+		if seq < st.last {
+			b.reply(pc, "err stale seq %d (last executed %d)", seq, st.last)
+			return
+		}
+		var captured string
+		pc.rec = &captured
+		defer func() {
+			pc.rec = nil
+			// The command may have bound or switched the session (open,
+			// resume): record against the stream the client will keep using.
+			st := pc.seqFor()
+			st.last, st.reply = seq, captured
+		}()
+	}
 	cmd := fields[0]
 	needSession := func() bool {
 		if pc.sn == nil {
@@ -233,7 +312,42 @@ func (b *Bridge) handle(p *des.Proc, pc *protoConn, line string) {
 			return
 		}
 		pc.sn = sn
+		if b.sv.cfg.Lease > 0 {
+			b.reply(pc, "ok open %s job %s token %s hot %s", sn.User(), sn.Job().Name(),
+				sn.Token(), strings.Join(sn.Job().Hot(), ","))
+			return
+		}
 		b.reply(pc, "ok open %s job %s hot %s", sn.User(), sn.Job().Name(), strings.Join(sn.Job().Hot(), ","))
+	case "resume":
+		if pc.sn != nil {
+			b.reply(pc, "err session already open for %s", pc.sn.User())
+			return
+		}
+		if len(fields) != 2 {
+			b.reply(pc, "err usage: resume <token>")
+			return
+		}
+		if b.sv.cfg.Lease <= 0 {
+			b.reply(pc, "err resume requires leased sessions (server started without a lease)")
+			return
+		}
+		sn, err := b.sv.ResumeSession(fields[1])
+		if err != nil {
+			opErr(err)
+			return
+		}
+		pc.sn = sn
+		b.reply(pc, "ok resume %s job %s probes %s", sn.User(), sn.Job().Name(),
+			strings.Join(sn.Instrumented(), ","))
+	case "beat", "b":
+		if !needSession() {
+			return
+		}
+		if err := pc.sn.Heartbeat(p); err != nil {
+			opErr(err)
+			return
+		}
+		b.reply(pc, "ok beat (lease until vt %.3fs)", pc.sn.LeaseUntil().Seconds())
 	case "insert", "i":
 		if !needSession() {
 			return
@@ -295,7 +409,7 @@ func (b *Bridge) handle(p *des.Proc, pc *protoConn, line string) {
 		b.sv.Shutdown()
 		b.reply(pc, "ok shutdown")
 	case "help", "h":
-		b.reply(pc, "ok commands: open <user> <job> | insert <fn>... | remove <fn>... | list | wait <s> | jobs | stats | quit | shutdown")
+		b.reply(pc, "ok commands: open <user> <job> | resume <token> | insert <fn>... | remove <fn>... | list | beat | wait <s> | jobs | stats | quit | shutdown (prefix any command with a sequence number for duplicate suppression)")
 	case "insert-file", "if", "remove-file", "rf", "start":
 		b.reply(pc, "err %q is not supported in serve mode (sessions attach to resident jobs)", cmd)
 	default:

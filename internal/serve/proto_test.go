@@ -109,3 +109,122 @@ func TestProtoBridge(t *testing.T) {
 		t.Errorf("stats = %+v", st)
 	}
 }
+
+// TestProtoSeqAndResume drives the leased-session protocol over real
+// connections: request sequence numbers with duplicate suppression, a
+// disconnect with a command in flight, and a reconnect that resumes the
+// session by token and re-sends the possibly-lost command under its
+// original sequence number — which must replay the cached reply, not
+// execute twice.
+func TestProtoSeqAndResume(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	s := des.NewScheduler(43)
+	sv := serve.New(s, serve.Config{
+		Machine: machine.MustNew("ibm-power3"),
+		Lease:   30 * des.Second, // virtual grace window
+	})
+	if _, err := sv.RegisterResident("smg", 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := serve.NewBridge(sv, ln)
+	errc := make(chan error, 1)
+	go func() { errc <- b.Serve() }()
+
+	dial := func() (net.Conn, *bufio.Scanner) {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, bufio.NewScanner(c)
+	}
+	send := func(c net.Conn, sc *bufio.Scanner, line string) string {
+		t.Helper()
+		fmt.Fprintln(c, line)
+		if !sc.Scan() {
+			t.Fatalf("connection closed awaiting reply to %q (read err %v)", line, sc.Err())
+		}
+		return sc.Text()
+	}
+
+	c1, r1 := dial()
+	open := send(c1, r1, "1 open alice smg")
+	if !strings.HasPrefix(open, "ok open alice job smg token sess-") {
+		t.Fatalf("leased open reply %q", open)
+	}
+	token := strings.Fields(open)[6]
+
+	// Malformed sequenced lines: a bare number, seq zero, and a stale seq.
+	if got := send(c1, r1, "42"); got != "err seq 42 without a command" {
+		t.Fatalf("bare-seq reply %q", got)
+	}
+	if got := send(c1, r1, "0 list"); !strings.HasPrefix(got, "err bad seq 0") {
+		t.Fatalf("zero-seq reply %q", got)
+	}
+	if got := send(c1, r1, "beat"); !strings.HasPrefix(got, "ok beat") {
+		t.Fatalf("beat reply %q", got)
+	}
+
+	if got := send(c1, r1, "2 insert smg_relax"); got != "ok insert 1 function(s)" {
+		t.Fatalf("insert reply %q", got)
+	}
+	// Duplicate of an executed seq replays the cached reply verbatim.
+	if got := send(c1, r1, "2 insert smg_relax"); got != "ok insert 1 function(s)" {
+		t.Fatalf("duplicate-seq reply %q", got)
+	}
+	if got := send(c1, r1, "1 list"); !strings.HasPrefix(got, "err stale seq 1 (last executed 2)") {
+		t.Fatalf("stale-seq reply %q", got)
+	}
+
+	// The command whose reply the link drop will eat.
+	if got := send(c1, r1, "5 insert smg_exchange"); got != "ok insert 1 function(s)" {
+		t.Fatalf("insert reply %q", got)
+	}
+	// Disconnect with a command in flight: the handler still runs (its
+	// reply write just fails) and the drop must suspend, not close.
+	fmt.Fprintln(c1, "wait 1")
+	c1.Close()
+
+	c2, r2 := dial()
+	if got := send(c2, r2, "beat"); !strings.HasPrefix(got, "err no session") {
+		t.Fatalf("sessionless beat reply %q", got)
+	}
+	if got := send(c2, r2, "resume sess-999999"); !strings.HasPrefix(got, "err") {
+		t.Fatalf("bogus resume reply %q", got)
+	}
+	// Resuming may race the old connection's EOF dispatch; retry until the
+	// suspend lands (the bridge serialises, so this converges immediately
+	// in practice).
+	var resume string
+	for {
+		resume = send(c2, r2, "resume "+token)
+		if !strings.Contains(resume, "not suspended") {
+			break
+		}
+	}
+	if !strings.HasPrefix(resume, "ok resume alice job smg probes ") {
+		t.Fatalf("resume reply %q", resume)
+	}
+	// Re-send the possibly-lost command under its original seq: the session
+	// carried its sequence state across the reconnect, so this replays the
+	// cached reply without inserting a second time.
+	if got := send(c2, r2, "5 insert smg_exchange"); got != "ok insert 1 function(s)" {
+		t.Fatalf("replayed insert reply %q", got)
+	}
+	list := send(c2, r2, "6 list")
+	if strings.Count(list, "smg_exchange") != 1 || strings.Count(list, "smg_relax") != 1 {
+		t.Fatalf("list after resume %q", list)
+	}
+	if got := send(c2, r2, "7 shutdown"); got != "ok shutdown" {
+		t.Fatalf("shutdown reply %q", got)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("bridge: %v", err)
+	}
+	st := sv.Stats()
+	if st.Suspended != 1 || st.Resumed != 1 || st.Evicted != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,162 @@
+package serve_test
+
+// Recovery smoke for the multi-tenant server: a 100-session workload in
+// which every daemon crashes once. No session may be lost, and after the
+// automatic ledger replays the resident jobs' observable probe state must
+// be byte-identical to a fault-free run of the same workload.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dynprof/internal/des"
+	"dynprof/internal/fault"
+	"dynprof/internal/image"
+	"dynprof/internal/machine"
+	"dynprof/internal/serve"
+)
+
+const (
+	recoverJobs       = 25 // resident jobs, one node each
+	recoverPerJob     = 4  // tenant sessions per job
+	recoverRanks      = 4
+	recoverCrashStart = 5 * des.Second
+)
+
+// probeFingerprint renders the observable instrumentation of every rank of
+// every resident job: per hot-function point, whether it is patched, the
+// probe-chain length, and the active-probe count. Reinstalled probes live
+// at fresh trampoline addresses, so raw image bytes are not comparable
+// across a crash — this state is.
+func probeFingerprint(sv *serve.Server) string {
+	var b strings.Builder
+	for _, name := range sv.Jobs() {
+		jb := sv.Job(name)
+		for _, pr := range jb.Guide().Processes() {
+			img := pr.Image()
+			for _, fn := range jb.Hot() {
+				sym := img.MustLookup(fn)
+				fmt.Fprintf(&b, "%s/%s/%s entry:%v/%d/%d exit:%v/%d/%d\n",
+					name, pr.Name(), fn,
+					img.Patched(sym, image.EntryPoint, 0), img.ChainLen(sym, image.EntryPoint, 0),
+					img.ActiveProbes(sym, image.EntryPoint, 0),
+					img.Patched(sym, image.ExitPoint, 0), img.ChainLen(sym, image.ExitPoint, 0),
+					img.ActiveProbes(sym, image.ExitPoint, 0))
+			}
+		}
+	}
+	return b.String()
+}
+
+// runRecoverWorkload drives the 100-session workload under the given fault
+// plan (nil for the fault-free twin) and returns the server and the final
+// probe fingerprint. Sessions close with quit semantics — instrumentation
+// stays in place — so the fingerprint captures each tenant's desired state.
+func runRecoverWorkload(t *testing.T, plan *fault.Plan) (*serve.Server, string) {
+	t.Helper()
+	var opts []machine.Option
+	if plan != nil {
+		opts = append(opts, machine.WithFaults(plan))
+	}
+	s := des.NewScheduler(42)
+	sv := serve.New(s, serve.Config{Machine: machine.MustNew("ibm-power3", opts...)})
+	for j := 0; j < recoverJobs; j++ {
+		if _, err := sv.RegisterResident(fmt.Sprintf("j%02d", j), recoverRanks, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sessions := recoverJobs * recoverPerJob
+	remaining := sessions
+	for i := 0; i < sessions; i++ {
+		i := i
+		user := fmt.Sprintf("u%03d", i)
+		jobName := fmt.Sprintf("j%02d", i%recoverJobs)
+		s.Spawn(user, func(p *des.Proc) {
+			defer func() {
+				remaining--
+				if remaining == 0 {
+					sv.Shutdown()
+				}
+			}()
+			// Staggered arrivals over [1s, 3s): same-job tenants land 500ms
+			// apart, all attached well before the first crash at 5s.
+			p.Advance(des.Second + des.Time(i)*20*des.Millisecond)
+			sn, err := sv.Open(p, user, jobName, nil)
+			if err != nil {
+				t.Errorf("%s open: %v", user, err)
+				return
+			}
+			// Each of a job's four tenants instruments a distinct hot function.
+			fn := sv.Job(jobName).Hot()[i/recoverJobs]
+			if err := sn.Insert(p, fn); err != nil {
+				t.Errorf("%s insert: %v", user, err)
+			}
+			p.Advance(10 * des.Second) // ride across the crash wave
+			if ev, reason := sn.Evicted(); ev {
+				t.Errorf("session %s lost: %s", user, reason)
+				return
+			}
+			sn.Close(p)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sv, probeFingerprint(sv)
+}
+
+// TestRecoverSmoke crashes every daemon once under a 100-session workload:
+// zero sessions lost, one automatic recovery per session, and the final
+// probe state identical to the fault-free twin.
+func TestRecoverSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100-session recovery smoke skipped in -short mode")
+	}
+	// One crash per node, staggered 5ms apart so restarts do not land on a
+	// single simulation timestamp.
+	plan := &fault.Plan{}
+	for n := 0; n < recoverJobs; n++ {
+		plan.DaemonCrashes = append(plan.DaemonCrashes,
+			fault.DaemonCrash{Node: n, At: recoverCrashStart + des.Time(n)*5*des.Millisecond})
+	}
+	svFault, fpFault := runRecoverWorkload(t, plan)
+	svClean, fpClean := runRecoverWorkload(t, nil)
+
+	sessions := recoverJobs * recoverPerJob
+	if st := svFault.Stats(); st.Evicted != 0 || st.Closed != sessions {
+		t.Errorf("faulted run stats = %+v, want 0 evictions and %d closes", st, sessions)
+	}
+	if st := svClean.Stats(); st.Evicted != 0 || st.Recovered != 0 {
+		t.Errorf("fault-free run stats = %+v", st)
+	}
+	if got := svFault.Stats().Recovered; got != sessions {
+		t.Errorf("recoveries = %d, want one per session (%d)", got, sessions)
+	}
+	var crashes, restarts int
+	for _, e := range svFault.System().Faults().Events() {
+		switch e.Kind {
+		case fault.KindDaemonCrash:
+			crashes++
+		case fault.KindDaemonRestart:
+			restarts++
+		}
+	}
+	if crashes != sessions || restarts != sessions {
+		t.Errorf("crashes=%d restarts=%d, want %d of each (every tenant daemon once)",
+			crashes, restarts, sessions)
+	}
+	if fpFault != fpClean {
+		a, b := strings.Split(fpFault, "\n"), strings.Split(fpClean, "\n")
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				t.Errorf("probe state diverged from fault-free run at line %d:\n faulted %q\n clean   %q",
+					i, a[i], b[i])
+				break
+			}
+		}
+		if len(a) != len(b) {
+			t.Errorf("fingerprint length: faulted %d lines, clean %d", len(a), len(b))
+		}
+	}
+}

@@ -51,17 +51,29 @@ type Config struct {
 	MaxQueue int
 	// DefaultQuota applies to every session Open does not override.
 	DefaultQuota Quota
+	// Lease enables leased sessions: a session whose client link drops is
+	// suspended for this grace window instead of being torn down, and a
+	// reconnecting client resumes it (probes, quotas, and adaptive state
+	// intact) by session token. Control operations and heartbeats renew the
+	// lease; a suspended session whose lease expires is evicted through the
+	// ordinary eviction path. Zero disables leasing (dropped links close
+	// their sessions immediately, the pre-lease behaviour).
+	Lease des.Time
 	// Output receives tool messages from all sessions (nil: discarded).
 	Output io.Writer
 }
 
 // Stats counts the server's admission and lifecycle decisions.
 type Stats struct {
-	Admitted int
-	Queued   int
-	Rejected int
-	Evicted  int
-	Closed   int
+	Admitted  int
+	Queued    int
+	Rejected  int
+	Evicted   int
+	Closed    int
+	Suspended int
+	Resumed   int
+	Expired   int
+	Recovered int
 }
 
 // Eviction records one graceful eviction.
@@ -70,6 +82,21 @@ type Eviction struct {
 	Job    string
 	Reason string
 	At     des.Time
+}
+
+// Recovery records one automatic probe-state repair: a daemon serving the
+// session crashed and restarted, and the session's probe ledger was
+// replayed against it.
+type Recovery struct {
+	User string
+	// Node is the node whose daemon restarted.
+	Node int
+	// Probes is the number of per-target probe replays performed.
+	Probes int
+	// Latency is the virtual time from restart notification to reconverged
+	// probe state.
+	Latency des.Time
+	At      des.Time
 }
 
 // Job is one resident target application in the server's registry.
@@ -106,6 +133,13 @@ type Server struct {
 	admitQ    []*des.Gate
 	stats     Stats
 	evictions []Eviction
+
+	// Leased-session state: every session gets a token at Open (cheap and
+	// deterministic); the suspend/resume machinery only engages when
+	// Config.Lease is set.
+	tokenSeq   int
+	byToken    map[string]*Session
+	recoveries []Recovery
 }
 
 // New creates a server on s: one shared DPCL System whose daemon time is
@@ -121,7 +155,13 @@ func New(s *des.Scheduler, cfg Config) *Server {
 	// client whose (unacknowledged) resume was lost strands suspended ranks,
 	// so daemons release their own suspend balance when torn down.
 	sys.SetSuspendReclaim(true)
-	return &Server{s: s, cfg: cfg, sys: sys, fair: fair, jobs: make(map[string]*Job)}
+	// Resident ranks reach safe points only every residentSlice of compute,
+	// so acks to suspend-bracketed requests can lag the round-trip-derived
+	// retransmission timeout by a full slice; widen it or a lossy-but-alive
+	// control path gets misread as dead and the tenant wrongly evicted.
+	sys.SetRetryPatience(residentSlice + 50*des.Millisecond)
+	return &Server{s: s, cfg: cfg, sys: sys, fair: fair,
+		jobs: make(map[string]*Job), byToken: make(map[string]*Session)}
 }
 
 // Scheduler returns the server's DES.
@@ -138,6 +178,12 @@ func (sv *Server) Stats() Stats { return sv.stats }
 
 // Evictions returns the eviction log in time order.
 func (sv *Server) Evictions() []Eviction { return append([]Eviction(nil), sv.evictions...) }
+
+// Recoveries returns the probe-state repair log in time order.
+func (sv *Server) Recoveries() []Recovery { return append([]Recovery(nil), sv.recoveries...) }
+
+// Session looks a session up by its token ("" for unknown tokens).
+func (sv *Server) Session(token string) *Session { return sv.byToken[token] }
 
 // Jobs lists the registered job names, sorted.
 func (sv *Server) Jobs() []string {
@@ -158,12 +204,17 @@ const residentSlice = 200 * des.Millisecond
 // residentApp builds the synthetic service application RegisterResident
 // runs: ranks iterate over the hot functions until the stop gate opens,
 // barrier-synchronised so the final MPI_Finalize converges within one
-// iteration of the gate opening.
+// iteration of the gate opening. The gate is sampled once per iteration —
+// by whichever rank reaches the loop top first — and the decision shared,
+// so ranks skewed by instrumentation suspend windows (crash-recovery
+// replays stop targets mid-iteration) still agree on the iteration at
+// which to finalize instead of splitting the collective sequence.
 func residentApp(name string, hot []string, stop *des.Gate) *guide.App {
 	funcs := make([]guide.Func, len(hot))
 	for i, f := range hot {
 		funcs[i] = guide.Func{Name: f, Size: 40}
 	}
+	decided := make(map[int]bool)
 	return &guide.App{
 		Name:   name,
 		Lang:   guide.MPIC,
@@ -171,7 +222,15 @@ func residentApp(name string, hot []string, stop *des.Gate) *guide.App {
 		Subset: append([]string(nil), hot...),
 		Main: func(c *guide.Ctx) {
 			c.MPI.Init()
-			for !stop.Open() {
+			for it := 0; ; it++ {
+				halt, sampled := decided[it]
+				if !sampled {
+					halt = stop.Open()
+					decided[it] = halt
+				}
+				if halt {
+					break
+				}
 				for i := range funcs {
 					f := funcs[i].Name
 					c.Call(f, func() { c.T.WorkTime(residentSlice) })
@@ -251,7 +310,9 @@ func (sv *Server) Open(p *des.Proc, user, jobName string, quota *Quota) (*Sessio
 	if quota != nil {
 		q = *quota
 	}
-	sn := &Session{sv: sv, user: user, jb: jb, quota: q, lastRefill: p.Now()}
+	sv.tokenSeq++
+	sn := &Session{sv: sv, user: user, jb: jb, quota: q, lastRefill: p.Now(),
+		token: fmt.Sprintf("sess-%06d", sv.tokenSeq)}
 	ss, err := core.AttachSessionWith(p, sv.cfg.Machine, jb.job, core.AttachConfig{
 		System:  sv.sys,
 		User:    user,
@@ -263,7 +324,86 @@ func (sv *Server) Open(p *des.Proc, user, jobName string, quota *Quota) (*Sessio
 		return nil, err
 	}
 	sn.ss = ss
+	sv.byToken[sn.token] = sn
+	ss.SetRecoverObserver(func(node, replayed int, latency des.Time) {
+		sv.stats.Recovered++
+		sv.recoveries = append(sv.recoveries,
+			Recovery{User: user, Node: node, Probes: replayed, Latency: latency, At: sv.s.Now()})
+	})
 	return sn, nil
+}
+
+// SuspendSession parks a session whose client link dropped: the session
+// keeps its probes, quotas, and adaptive state, its lease is renewed to a
+// full grace window, and an expiry watcher is armed. The watcher is armed
+// only here — connected sessions schedule no lease events — so a leased
+// server that never loses a link runs the exact event sequence of an
+// unleased one. No-op when leasing is disabled or the session is already
+// suspended, evicted, or closed.
+func (sv *Server) SuspendSession(sn *Session) {
+	if sv.cfg.Lease <= 0 || sn.suspended || sn.evicted || sn.closed {
+		return
+	}
+	sn.suspended = true
+	sn.leaseUntil = sv.s.Now() + sv.cfg.Lease
+	sv.stats.Suspended++
+	sv.armLease(sn)
+}
+
+// ResumeSession re-binds a reconnecting client to its suspended session by
+// token: the session resumes with probes, quotas, and adaptive state
+// intact, and a fresh lease. Evicted sessions report why (errors.Is
+// ErrEvicted); unknown tokens, closed sessions, and sessions that were
+// never suspended are errors.
+func (sv *Server) ResumeSession(token string) (*Session, error) {
+	sn, ok := sv.byToken[token]
+	if !ok {
+		return nil, fmt.Errorf("serve: no session with token %q", token)
+	}
+	if sn.evicted {
+		return nil, fmt.Errorf("%w (%s)", ErrEvicted, sn.evictReason)
+	}
+	if sn.closed {
+		return nil, fmt.Errorf("serve: session %s is closed", sn.user)
+	}
+	if !sn.suspended {
+		return nil, fmt.Errorf("serve: session %s is not suspended", sn.user)
+	}
+	sn.suspended = false
+	sn.leaseUntil = sv.s.Now() + sv.cfg.Lease
+	sv.stats.Resumed++
+	return sn, nil
+}
+
+// armLease schedules the expiry check for a suspended session. At most one
+// watcher per session is in flight; renewals move leaseUntil forward and
+// the watcher re-schedules itself instead of firing.
+func (sv *Server) armLease(sn *Session) {
+	if sn.watching {
+		return
+	}
+	sn.watching = true
+	sv.s.At(sn.leaseUntil, func() { sv.checkLease(sn) })
+}
+
+// checkLease runs at a suspended session's scheduled expiry: if the
+// session resumed, closed, or was evicted the watcher disarms; if the
+// lease was renewed it re-schedules; otherwise the lease has truly expired
+// and a reaper evicts the session through the ordinary eviction path.
+func (sv *Server) checkLease(sn *Session) {
+	if sn.closed || sn.evicted || !sn.suspended {
+		sn.watching = false
+		return
+	}
+	if sv.s.Now() < sn.leaseUntil {
+		sv.s.At(sn.leaseUntil, func() { sv.checkLease(sn) })
+		return
+	}
+	sn.watching = false
+	sv.stats.Expired++
+	sv.s.Spawn("lease-reap."+sn.user, func(p *des.Proc) {
+		sv.evict(p, sn, fmt.Sprintf("lease expired (%.3gs grace)", sv.cfg.Lease.Seconds()))
+	})
 }
 
 // releaseSlot frees one admission slot, handing it to the oldest queued
@@ -281,13 +421,17 @@ func (sv *Server) releaseSlot() {
 // evict gracefully removes a faulted or quota-violating session: its
 // probes are removed via the ordinary remove machinery (best effort — on a
 // faulted control path the removes themselves may time out), its daemons
-// are torn down, and its admission slot is released.
+// are torn down, and its admission slot is released. Idempotent: a second
+// eviction (or an eviction racing a close — e.g. a lease reaper firing
+// while the tenant's own quota eviction is in flight) is a strict no-op,
+// so the slot is released and the stats bumped exactly once.
 func (sv *Server) evict(p *des.Proc, sn *Session, reason string) {
 	if sn.evicted || sn.closed {
 		return
 	}
 	sn.evicted = true
 	sn.evictReason = reason
+	sn.suspended = false
 	_ = sn.ss.RemoveAll(p)
 	sn.ss.Quit(p)
 	sv.releaseSlot()

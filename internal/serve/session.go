@@ -34,6 +34,15 @@ type Session struct {
 	evicted     bool
 	evictReason string
 	closed      bool
+
+	// Leased-session state (see Config.Lease). token identifies the session
+	// across reconnects; seq carries the protocol bridge's request-sequence
+	// state so duplicate suppression survives a resume on a new connection.
+	token      string
+	leaseUntil des.Time
+	suspended  bool
+	watching   bool
+	seq        seqState
 }
 
 // User returns the session's DPCL user name.
@@ -47,6 +56,38 @@ func (sn *Session) Core() *core.Session { return sn.ss }
 
 // Evicted reports whether the session has been evicted, and why.
 func (sn *Session) Evicted() (bool, string) { return sn.evicted, sn.evictReason }
+
+// Token returns the session's resume token (assigned at Open).
+func (sn *Session) Token() string { return sn.token }
+
+// Suspended reports whether the session is parked awaiting a resume.
+func (sn *Session) Suspended() bool { return sn.suspended }
+
+// LeaseUntil returns the virtual deadline of the current lease (zero when
+// leasing is disabled or no control op has renewed it yet).
+func (sn *Session) LeaseUntil() des.Time { return sn.leaseUntil }
+
+// renewLease pushes the lease deadline a full grace window out. Free when
+// leasing is disabled.
+func (sn *Session) renewLease(now des.Time) {
+	if sn.sv.cfg.Lease > 0 {
+		sn.leaseUntil = now + sn.sv.cfg.Lease
+	}
+}
+
+// Heartbeat renews the session's lease without performing a control
+// operation (the protocol bridge's beat command). Evicted and closed
+// sessions fail like any other op.
+func (sn *Session) Heartbeat(p *des.Proc) error {
+	if sn.closed {
+		return fmt.Errorf("serve: session %s is closed", sn.user)
+	}
+	if sn.evicted {
+		return fmt.Errorf("%w (%s)", ErrEvicted, sn.evictReason)
+	}
+	sn.renewLease(p.Now())
+	return nil
+}
 
 // TraceBytes reports the trace volume this session's probes have generated.
 func (sn *Session) TraceBytes() int64 { return sn.traceEvents * vt.EventBytes }
@@ -98,6 +139,7 @@ func (sn *Session) begin(p *des.Proc) (des.Time, error) {
 		sn.sv.evict(p, sn, fmt.Sprintf("control-rate quota exceeded (%.3g ops/s)", sn.quota.MaxCtrlPerSec))
 		return 0, fmt.Errorf("%w (%s)", ErrEvicted, sn.evictReason)
 	}
+	sn.renewLease(p.Now())
 	return p.Now(), nil
 }
 
@@ -150,6 +192,7 @@ func (sn *Session) Close(p *des.Proc) {
 		return
 	}
 	sn.closed = true
+	sn.suspended = false
 	sn.ss.Quit(p)
 	sn.sv.releaseSlot()
 	sn.sv.stats.Closed++

@@ -20,6 +20,11 @@
 #                                 (100/1k/10k sessions), emitting
 #                                 OUTDIR/BENCH_PR7.json with latency
 #                                 percentiles and per-cell wall times.
+#   scripts/bench.sh recover      crash-recovery sweep (daemon MTBF
+#                                 2/5/10/20s), emitting OUTDIR/BENCH_PR9.json
+#                                 with reconvergence latency percentiles,
+#                                 lost-event fraction, co-tenant latency
+#                                 impact and per-cell wall times.
 #
 # Environment:
 #   OUTDIR      where full-mode output goes (default: bench.out)
@@ -147,6 +152,47 @@ if [ "${1:-}" = "tenants" ]; then
         > "$OUTDIR/BENCH_PR7.json"
     echo "bench.sh: wrote $OUTDIR/BENCH_PR7.json" >&2
     jq . "$OUTDIR/BENCH_PR7.json"
+    exit 0
+fi
+
+if [ "${1:-}" = "recover" ]; then
+    # Recover mode: the crash-recovery sweep (64 sessions on 32 resident
+    # jobs, every node's daemon crashed at each multiple of the MTBF with
+    # 5% control-message loss layered on top), emitting OUTDIR/BENCH_PR9.json
+    # with per-MTBF reconvergence latency percentiles, the probe-event
+    # fraction the crash windows cost, and the collateral latency seen by
+    # co-tenant control operations that themselves succeeded. Cells run
+    # with -parallel 1 so the wall times are per-cell.
+    OUTDIR=${OUTDIR:-bench.out}
+    mkdir -p "$OUTDIR"
+
+    echo "bench.sh: recover sweep (daemon MTBF 2/5/10/20s)" >&2
+    go run ./cmd/experiments -recover -parallel 1 \
+        -jsonl "$OUTDIR/recover.jsonl" > "$OUTDIR/recover.txt"
+
+    jq -n \
+        --arg date "$(date +%Y-%m-%d)" \
+        --arg go "$(go env GOVERSION)" \
+        --arg goos "$(go env GOOS)" \
+        --arg goarch "$(go env GOARCH)" \
+        --argjson ncpu "$(getconf _NPROCESSORS_ONLN)" \
+        --slurpfile a "$OUTDIR/recover.jsonl" \
+        '{pr: 9,
+          title: "Control-plane fault tolerance: recovery metrics vs daemon MTBF",
+          date: $date, go: $go, goos: $goos, goarch: $goarch, host_cpus: $ncpu,
+          commands: ["experiments -recover -parallel 1"],
+          cells: [ $a[] | select(.series == "reconverge-p50") | . as $x |
+            {mtbf_s: $x.cpus,
+             reconverge_p50_s: $x.value,
+             reconverge_p95_s: ($a[] | select(.series == "reconverge-p95" and .cpus == $x.cpus) | .value),
+             lost_frac: ($a[] | select(.series == "lost-frac" and .cpus == $x.cpus) | .value),
+             cotenant_p95_ratio: ($a[] | select(.series == "cotenant-p95-ratio" and .cpus == $x.cpus) | .value),
+             sim_s: $x.sim_s,
+             wall_ms: ([$a[] | select(.cpus == $x.cpus and (.cache_hit | not))
+                        | .wall_ms] | add | round)} ]}' \
+        > "$OUTDIR/BENCH_PR9.json"
+    echo "bench.sh: wrote $OUTDIR/BENCH_PR9.json" >&2
+    jq . "$OUTDIR/BENCH_PR9.json"
     exit 0
 fi
 

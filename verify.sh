@@ -15,7 +15,9 @@ go test -race -run 'TestParallel|TestCellCache|TestRunner' ./internal/exp/
 # and the persistent result store.
 go test -race -run 'TestSupervised|TestStore|TestFailure|TestRetry' ./internal/exp/
 
-# Race pass over the fault injector and the DPCL retry/backoff path.
+# Race pass over the fault injector and the DPCL retry/backoff path,
+# including the crash-recovery machinery (daemon incarnations, ledger
+# replay, give-up rollback).
 go test -race ./internal/fault/ ./internal/dpcl/
 
 # Race pass over the sharded scheduler (des.Cluster's window workers are
@@ -82,3 +84,16 @@ go test -race -run 'TestAdaptConvergence|TestAdaptSpecKey|TestPolicySpecKeys' ./
 "$smoke/experiments" -adapt -parallel 1 > "$smoke/adapt1.txt"
 "$smoke/experiments" -adapt -parallel 8 > "$smoke/adapt8.txt"
 cmp "$smoke/adapt1.txt" "$smoke/adapt8.txt"
+
+# Race pass over the crash-recovery paths: leased sessions and automatic
+# probe-state repair in the server, including the 100-session
+# crash-every-daemon smoke (zero lost sessions, probe state byte-identical
+# to the fault-free run), and the end-to-end recover cells.
+go test -race -run 'TestLease|TestRecoverSmoke|TestProtoSeqAndResume|TestEvictIdempotent' ./internal/serve/
+go test -race -run 'TestRecoverCell|TestRecoverStoreRoundTrip' ./internal/exp/
+
+# Recover smoke: the crash-recovery figure (daemon-MTBF sweep of the
+# multi-tenant server) must render the same bytes at any host parallelism.
+"$smoke/experiments" -recover -parallel 1 > "$smoke/recover1.txt"
+"$smoke/experiments" -recover -parallel 8 > "$smoke/recover8.txt"
+cmp "$smoke/recover1.txt" "$smoke/recover8.txt"
