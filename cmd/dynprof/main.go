@@ -36,6 +36,7 @@ import (
 	"dynprof/internal/machine"
 	"dynprof/internal/serve"
 	"dynprof/internal/vgv"
+	"dynprof/internal/vt"
 )
 
 func main() {
@@ -50,6 +51,7 @@ func run() error {
 	machName := flag.String("machine", "ibm", "machine preset: ibm or ia32")
 	seed := flag.Uint64("seed", 2003, "simulation seed")
 	trace := flag.String("trace", "", "write the run's trace to this file")
+	traceCompact := flag.Bool("trace-compact", false, "collect the trace with online redundancy suppression and write -trace in the compact binary format (vgv reads both)")
 	report := flag.Bool("report", false, "print a postmortem profile after the run")
 	budget := flag.Float64("budget", 0, "adaptive perturbation budget as a fraction (e.g. 0.05); 0 disables the controller")
 	epoch := flag.Int("epoch", 1, "adaptive mode: sync-point crossings per controller epoch")
@@ -78,10 +80,11 @@ func run() error {
 			return err
 		}
 		return serveJobs(ln, serve.Config{
-			Machine:     mach,
-			MaxSessions: *maxSessions,
-			MaxQueue:    *maxQueue,
-			Lease:       des.Time(*lease),
+			Machine:      mach,
+			MaxSessions:  *maxSessions,
+			MaxQueue:     *maxQueue,
+			Lease:        des.Time(*lease),
+			CompactTrace: *traceCompact,
 			DefaultQuota: serve.Quota{
 				MaxProbes:     *maxProbes,
 				MaxTraceBytes: *maxTrace,
@@ -145,6 +148,10 @@ func run() error {
 		return err
 	}
 
+	var col *vt.Collector
+	if *traceCompact {
+		col = vt.NewCompactCollector()
+	}
 	s := des.NewScheduler(*seed)
 	var ss *core.Session
 	var rt *adapt.Runtime
@@ -156,6 +163,7 @@ func run() error {
 			BuildOpts: guide.BuildOpts{TraceMPI: true, TraceOMP: true},
 			Procs:     *procs,
 			Args:      deck,
+			Collector: col,
 			Output:    out,
 			Files:     files,
 		})
@@ -214,13 +222,22 @@ func run() error {
 			sum.ActiveProbes, sum.TotalProbes, sum.Deactivated, sum.Reactivated)
 	}
 
+	if *traceCompact {
+		st := ss.Job().Collector().CompactStats()
+		fmt.Fprintf(out, "dynprof: compact trace: %d events in, %d records out (%d repeats), %d bytes stored, %d bytes saved (%.1fx)\n",
+			st.EventsIn, st.Records, st.Repeats, st.Bytes, st.Saved(), st.Ratio())
+	}
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := ss.Job().Collector().WriteTrace(f); err != nil {
+		write := ss.Job().Collector().WriteTrace
+		if *traceCompact {
+			write = ss.Job().Collector().WriteCompactTrace
+		}
+		if err := write(f); err != nil {
 			return err
 		}
 	}
@@ -255,6 +272,18 @@ func serveJobs(ln net.Listener, cfg serve.Config, seed uint64, procs int, jobs [
 	fmt.Fprintf(os.Stderr,
 		"dynprof: served %d sessions (%d evicted, %d suspended, %d resumed, %d lease-expired); %d probe-state recoveries\n",
 		st.Admitted, st.Evicted, st.Suspended, st.Resumed, st.Expired, len(sv.Recoveries()))
+	if cfg.CompactTrace {
+		var agg vt.CompactStats
+		for _, name := range sv.Jobs() {
+			cs := sv.Job(name).Guide().Collector().CompactStats()
+			agg.EventsIn += cs.EventsIn
+			agg.Records += cs.Records
+			agg.Repeats += cs.Repeats
+			agg.Bytes += cs.Bytes
+		}
+		fmt.Fprintf(os.Stderr, "dynprof: compact trace: %d events in, %d records out (%d repeats), %d bytes stored, %d bytes saved (%.1fx)\n",
+			agg.EventsIn, agg.Records, agg.Repeats, agg.Bytes, agg.Saved(), agg.Ratio())
+	}
 	return err
 }
 

@@ -14,6 +14,7 @@
 //	experiments -scale -shards 8 -spill-dir spill -scale-stats  # 1k-16k rank sweep on the sharded DES
 //	experiments -tenants              # multi-tenant server: latency percentiles at 100-10k sessions
 //	experiments -adapt                # adaptive controller: overhead/retention vs budget on all kernels
+//	experiments -compact              # trace bytes/event at Full: verbatim vs redundancy-suppressed
 //
 // Sweeps are supervised: a cell that panics, livelocks past the -max-events/
 // -max-virtual DES budget, or exceeds -cell-timeout of host time is retried
@@ -72,6 +73,7 @@ func run() error {
 		tenants  = flag.Bool("tenants", false, "tenants sweep: control-op latency percentiles at 100/1k/10k concurrent sessions")
 		adapt    = flag.Bool("adapt", false, "adapt sweep: achieved overhead and retained events vs perturbation budget on all four kernels")
 		recoverF = flag.Bool("recover", false, "recover sweep: reconvergence latency, lost-event fraction, and co-tenant impact vs daemon MTBF")
+		compactF = flag.Bool("compact", false, "compact sweep: trace bytes per event at Full instrumentation, verbatim vs redundancy-suppressed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		maxCPUs  = flag.Int("max-cpus", 0, "truncate CPU sweeps (0 = the paper's full range)")
 		seed     = flag.Uint64("seed", exp.DefaultSeed, "simulation seed")
@@ -244,6 +246,7 @@ func run() error {
 		{*tenants, "tenants"},
 		{*adapt, "adapt"},
 		{*recoverF, "recover"},
+		{*compactF, "compact"},
 	} {
 		if f.on {
 			ids = append(ids, f.id)

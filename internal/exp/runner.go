@@ -71,6 +71,9 @@ func planFor(id string, opts Options) (*figurePlan, error) {
 	case "recover":
 		// Also on demand only, for the same reason as "scale".
 		return planRecover(opts), nil
+	case "compact":
+		// Also on demand only, for the same reason as "scale".
+		return planCompact(opts), nil
 	default:
 		return nil, fmt.Errorf("exp: unknown figure %q (have %v)", id, FigureIDs())
 	}
@@ -423,6 +426,8 @@ func virtualOf(val any) des.Time {
 		return v.Elapsed
 	case RecoverResult:
 		return v.Elapsed
+	case CompactResult:
+		return v.Elapsed
 	}
 	return 0
 }
@@ -438,6 +443,8 @@ func eventsOf(val any) uint64 {
 		return v.Events
 	case RecoverResult:
 		return v.Events
+	case CompactResult:
+		return uint64(v.TraceEvents)
 	}
 	return 0
 }

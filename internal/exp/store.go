@@ -25,6 +25,7 @@ type storeRecord struct {
 	Tenants  *TenantsResult  `json:"tenants,omitempty"`
 	Adapt    *AdaptResult    `json:"adapt,omitempty"`
 	Recover  *RecoverResult  `json:"recover,omitempty"`
+	Compact  *CompactResult  `json:"compact,omitempty"`
 }
 
 // value returns the record's typed result.
@@ -44,6 +45,8 @@ func (rec *storeRecord) value() (any, error) {
 		return *rec.Adapt, nil
 	case rec.Recover != nil:
 		return *rec.Recover, nil
+	case rec.Compact != nil:
+		return *rec.Compact, nil
 	}
 	return nil, fmt.Errorf("exp: store record %q carries no result", rec.Key)
 }
@@ -153,6 +156,8 @@ func (st *Store) Put(key string, val any) error {
 		rec.Adapt = &v
 	case RecoverResult:
 		rec.Recover = &v
+	case CompactResult:
+		rec.Compact = &v
 	default:
 		return fmt.Errorf("exp: store: unstorable cell result %T for %q", val, key)
 	}
@@ -211,6 +216,8 @@ func (st *Store) Compact() error {
 			rec.Adapt = &v
 		case RecoverResult:
 			rec.Recover = &v
+		case CompactResult:
+			rec.Compact = &v
 		}
 		if err := enc.Encode(rec); err != nil {
 			tmp.Close()

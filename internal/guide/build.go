@@ -107,13 +107,20 @@ func (bin *Binary) Instrumented() bool { return bin.opts.StaticInstrument }
 
 // loadImage clones the template for one process and binds the compiled-in
 // instrumentation snippets to the process's library instance, registering
-// each instrumented function with VT_funcdef as it is bound.
+// each instrumented function with VT_funcdef as it is bound. Binding walks
+// the application's declared function order so VT function ids are
+// identical across processes and across runs (map order would permute
+// them, making trace dumps — and compact-encoded sizes — nondeterministic).
 func (bin *Binary) loadImage(v *vt.Ctx) *image.Image {
 	img := bin.template.Clone()
-	for name, ids := range bin.static {
-		fid := v.FuncDef(name)
-		img.BindSnippet(ids.begin, "VT_begin:"+name, v.BeginSnippet(fid))
-		img.BindSnippet(ids.end, "VT_end:"+name, v.EndSnippet(fid))
+	for _, f := range bin.app.Funcs {
+		ids, ok := bin.static[f.Name]
+		if !ok {
+			continue
+		}
+		fid := v.FuncDef(f.Name)
+		img.BindSnippet(ids.begin, "VT_begin:"+f.Name, v.BeginSnippet(fid))
+		img.BindSnippet(ids.end, "VT_end:"+f.Name, v.EndSnippet(fid))
 	}
 	return img
 }

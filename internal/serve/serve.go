@@ -11,6 +11,7 @@ import (
 	"dynprof/internal/dpcl"
 	"dynprof/internal/guide"
 	"dynprof/internal/machine"
+	"dynprof/internal/vt"
 )
 
 // Admission and eviction sentinels, matched with errors.Is.
@@ -61,6 +62,10 @@ type Config struct {
 	Lease des.Time
 	// Output receives tool messages from all sessions (nil: discarded).
 	Output io.Writer
+	// CompactTrace gives every resident job a redundancy-suppressing
+	// collector (vt.NewCompactCollector): tenant probe traffic is stored
+	// in the compact encoding, bounding server-side trace memory.
+	CompactTrace bool
 }
 
 // Stats counts the server's admission and lifecycle decisions.
@@ -260,7 +265,11 @@ func (sv *Server) RegisterResident(name string, procs int, hot []string) (*Job, 
 	// Place consecutive jobs on disjoint node ranges, like a batch
 	// scheduler: tenants of different jobs then contend only for their own
 	// job's daemons, not one hot node-0 lane.
-	job, err := guide.Launch(sv.s, sv.cfg.Machine, bin, guide.LaunchOpts{Procs: procs, Node: sv.nextNode})
+	lopts := guide.LaunchOpts{Procs: procs, Node: sv.nextNode}
+	if sv.cfg.CompactTrace {
+		lopts.Collector = vt.NewCompactCollector()
+	}
+	job, err := guide.Launch(sv.s, sv.cfg.Machine, bin, lopts)
 	if err != nil {
 		return nil, err
 	}

@@ -80,3 +80,85 @@ func BenchmarkCollectorWriteTrace(b *testing.B) {
 		}
 	}
 }
+
+// benchLoopBatch is the suppression benchmarks' input: a loop-shaped batch
+// (the redundant case compaction targets) of n events.
+func benchLoopBatch(n int) []Event {
+	return loopBatch(0, 0, 0, (n+3)/4)[:n]
+}
+
+// BenchmarkCollectorAppendCompact is BenchmarkCollectorAppend against a
+// compact collector: the encode cost paid online per flush batch. The
+// bytes/event metric is the suppression ratio on loop-shaped input.
+func BenchmarkCollectorAppendCompact(b *testing.B) {
+	b.ReportAllocs()
+	batch := benchLoopBatch(256)
+	b.ResetTimer()
+	col := NewCompactCollector()
+	for i := 0; i < b.N; i++ {
+		if col.Len() > 1<<20 {
+			b.StopTimer()
+			col.Release()
+			col = NewCompactCollector()
+			b.StartTimer()
+		}
+		col.Append(batch)
+	}
+	b.StopTimer()
+	if st := col.CompactStats(); st.EventsIn > 0 {
+		b.ReportMetric(float64(st.Bytes)/float64(st.EventsIn), "bytes/event")
+	}
+}
+
+// BenchmarkCompactEncode measures the raw encoder on loop-shaped input:
+// ns/event and bytes/event of one block encode.
+func BenchmarkCompactEncode(b *testing.B) {
+	b.ReportAllocs()
+	evs := benchLoopBatch(4096)
+	var enc encoder
+	buf, _, _ := enc.encodeBlock(nil, evs)
+	b.SetBytes(int64(len(evs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _, _ = enc.encodeBlock(buf[:0], evs)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(buf))/float64(len(evs)), "bytes/event")
+}
+
+// BenchmarkCompactDecode measures reconstruction of the same block.
+func BenchmarkCompactDecode(b *testing.B) {
+	b.ReportAllocs()
+	evs := benchLoopBatch(4096)
+	var enc encoder
+	block, _, _ := enc.encodeBlock(nil, evs)
+	var dec decoder
+	out := make([]Event, 0, len(evs))
+	b.SetBytes(int64(len(evs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, _, _, err = dec.block(block, len(evs), out[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectorWriteCompactTrace is the compact dump path against
+// BenchmarkCollectorWriteTrace's exact workload — the collector host-time
+// comparison in BENCH_PR10.json (text formatting vs block copy-out).
+func BenchmarkCollectorWriteCompactTrace(b *testing.B) {
+	b.ReportAllocs()
+	col := NewCompactCollector()
+	for r := 0; r < 8; r++ {
+		col.AddFuncTable(int32(r), map[int32]string{0: "main", 1: "solve"})
+		col.Append(mkBatch(int32(r), 0, 2048))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := col.WriteCompactTrace(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -115,6 +115,18 @@ type Collector struct {
 	// the configured threshold, bounding resident trace memory (see
 	// spill.go and SpillTo).
 	spill *spillSink
+
+	// Compact mode (see compact.go): events are stored as encoded blocks
+	// in carena instead of verbatim in store; segs then hold event
+	// positions rather than store indices.
+	compact bool
+	carena  []byte
+	blocks  []blockRef
+	count   int      // events resident in compact mode
+	lastAt  des.Time // last appended event's time, for the tail-extend check
+	enc     *encoder
+	decoded []Event // pooled decode scratch backing the merged view
+	stats   CompactStats
 }
 
 // eventBufPool recycles collector arenas across simulation cells: a
@@ -132,9 +144,11 @@ func NewCollector() *Collector {
 	}
 }
 
-// Release returns the collector's arena to the shared pool and deletes any
-// spill file. The caller declares that neither the collector nor any slice
-// obtained from Events will be used again.
+// Release returns the collector's arena — and, in compact mode, the byte
+// arena, the encoder with its suppression dictionary, and the decode
+// scratch — to the shared pools, and deletes any spill file. The caller
+// declares that neither the collector nor any slice obtained from Events
+// will be used again.
 func (col *Collector) Release() {
 	if col.store != nil {
 		buf := col.store[:0]
@@ -142,6 +156,24 @@ func (col *Collector) Release() {
 	}
 	col.store, col.segs, col.merged = nil, nil, nil
 	col.mergedN = -1
+	if col.carena != nil {
+		b := col.carena[:0]
+		byteArenaPool.Put(&b)
+		col.carena = nil
+	}
+	if col.enc != nil {
+		encoderPool.Put(col.enc)
+		col.enc = nil
+	}
+	if col.decoded != nil {
+		d := col.decoded[:0]
+		eventBufPool.Put(&d)
+		col.decoded = nil
+	}
+	col.blocks = nil
+	col.count, col.lastAt = 0, 0
+	col.compact = false
+	col.stats = CompactStats{}
 	if col.spill != nil {
 		col.spill.close()
 		col.spill = nil
@@ -167,6 +199,10 @@ func (col *Collector) Append(events []Event) {
 	if len(events) == 0 {
 		return
 	}
+	if col.compact {
+		col.appendCompact(events, nil, 0, 0)
+		return
+	}
 	start := len(col.store)
 	col.store = append(col.store, events...)
 	for i := start; i < len(col.store); {
@@ -190,10 +226,19 @@ func (col *Collector) Append(events []Event) {
 // rank/tid/insertion order). The view is cached between Appends; callers
 // must treat it as read-only.
 func (col *Collector) Events() []Event {
-	if col.mergedN != len(col.store) {
+	if col.mergedN != col.residentLen() {
 		col.rebuildMerged()
 	}
 	return col.merged
+}
+
+// residentLen is the number of events held in memory: arena entries for a
+// verbatim collector, encoded-block event counts for a compact one.
+func (col *Collector) residentLen() int {
+	if col.compact {
+		return col.count
+	}
+	return len(col.store)
 }
 
 // rebuildMerged recomputes the cached time-ordered view. Each segment is
@@ -201,11 +246,16 @@ func (col *Collector) Events() []Event {
 // strictly increasing — so a k-way merge keyed on (At, cursor index)
 // reproduces exactly the stable sort of the insertion-ordered stream. A
 // spilling collector first restores the on-disk prefix (see spill.go); the
-// merge then runs over disk and arena segments together.
+// merge then runs over disk and arena segments together. A compact
+// collector first decodes its blocks (and spilled frames) into the pooled
+// scratch — segment boundaries are positions where time decreases, so the
+// decoded stream merges exactly like the verbatim one.
 func (col *Collector) rebuildMerged() {
-	col.mergedN = len(col.store)
+	col.mergedN = col.residentLen()
 	store, segs := col.store, col.segs
-	if col.spill != nil && col.spill.count > 0 {
+	if col.compact {
+		store, segs = col.decodedCombined()
+	} else if col.spill != nil && col.spill.count > 0 {
 		store, segs = col.spill.combined(col)
 	}
 	switch len(segs) {
@@ -276,15 +326,22 @@ func mergeSegs(store []Event, segs []segRange) []Event {
 
 // Len reports the number of collected events, spilled ones included.
 func (col *Collector) Len() int {
-	n := len(col.store)
+	n := col.residentLen()
 	if col.spill != nil {
 		n += col.spill.count
 	}
 	return n
 }
 
-// Bytes reports the trace's size under the fixed per-event record size.
-func (col *Collector) Bytes() int { return col.Len() * EventBytes }
+// Bytes reports the trace's size: the fixed per-event record size for a
+// verbatim collector, the encoded payload volume (resident and spilled)
+// for a compact one.
+func (col *Collector) Bytes() int {
+	if col.compact {
+		return col.stats.Bytes
+	}
+	return col.Len() * EventBytes
+}
 
 // FuncName resolves a function id in rank's table.
 func (col *Collector) FuncName(rank, id int32) string {

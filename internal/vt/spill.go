@@ -3,6 +3,7 @@ package vt
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 
 	"dynprof/internal/des"
@@ -11,20 +12,38 @@ import (
 // This file adds a streaming spill sink to the Collector, bounding the
 // resident memory of very large traces (10k+ rank sweeps). Whenever the
 // in-memory arena grows past a threshold, the whole arena — every segment,
-// in global insertion order — is appended to an on-disk file of fixed-size
-// binary records and the arena is reset. Because the arena is always
-// spilled in full, the file is exactly the insertion-ordered prefix of the
-// event stream, and the resident events are exactly its suffix; the merged
-// time-ordered view is reconstructed on read by the same stable k-way merge
-// that serves the in-memory path, over disk and arena segments together.
+// in global insertion order — is appended to an on-disk file and the arena
+// is reset. Because the arena is always spilled in full, the file is
+// exactly the insertion-ordered prefix of the event stream, and the
+// resident events are exactly its suffix; the merged time-ordered view is
+// reconstructed on read by the same stable k-way merge that serves the
+// in-memory path, over disk and arena segments together.
 //
-// The sink follows the experiment store's durability discipline: each spill
-// batch is flushed and fsynced before Append returns, and records are
-// fixed-size so a torn final record (crash mid-spill) is detectable by the
-// file length.
+// Every spill file opens with a 5-byte header, "VTSP" plus a format
+// version, so a reader confronted with a file from a different revision
+// fails with a typed *FormatError instead of silently misparsing records:
+//
+//	version 1: fixed 40-byte little-endian records (verbatim collectors)
+//	version 2: compact frames `uvarint count, uvarint blockLen, block`
+//	           (compact collectors; block format in compact.go)
+//
+// The sink follows the experiment store's durability discipline: each
+// spill batch is flushed and fsynced before Append returns. Version-1
+// records are fixed-size, so a torn final record (crash mid-spill) is
+// detectable from the payload length; version-2 frames are length-
+// prefixed, so truncation is caught by the frame walk.
 
-// spillRecBytes is the on-disk size of one spilled event record.
+// spillRecBytes is the on-disk size of one version-1 spilled event record.
 const spillRecBytes = 40
+
+// spillMagic opens every spill file, followed by the format version byte.
+const spillMagic = "VTSP"
+
+// spillHdrBytes is the header size: magic plus version.
+const spillHdrBytes = len(spillMagic) + 1
+
+// spillVerbatimVersion is the fixed-record spill format version.
+const spillVerbatimVersion = 1
 
 // spillSeg is one time-sorted segment of the spill file, in global record
 // indices.
@@ -35,7 +54,9 @@ type spillSink struct {
 	f         *os.File
 	path      string
 	threshold int
+	version   byte
 	count     int // records on disk
+	bytes     int // payload bytes on disk, header excluded
 	segs      []spillSeg
 	err       error // sticky first I/O failure
 	buf       []byte
@@ -43,11 +64,14 @@ type spillSink struct {
 
 // SpillTo arms the collector's spill sink: once more than thresholdEvents
 // events are resident, the arena is streamed to a file at path (created or
-// truncated here) and resident memory drops back to zero. Len, Bytes,
-// Events and WriteTrace are unaffected by spilling apart from memory cost;
-// Release deletes the file. I/O failures after arming are sticky and
-// reported by SpillErr — the collector keeps counting but the merged view
-// is no longer reconstructable.
+// truncated here) and resident memory drops back to zero. A verbatim
+// collector writes version-1 fixed records; a compact collector writes its
+// encoded blocks as version-2 frames, so the on-disk budget shrinks with
+// the suppression ratio. Len, Bytes, Events and WriteTrace are unaffected
+// by spilling apart from memory cost; Release deletes the file. I/O
+// failures after arming are sticky and reported by SpillErr — the
+// collector keeps counting but the merged view is no longer
+// reconstructable.
 func (col *Collector) SpillTo(path string, thresholdEvents int) error {
 	if thresholdEvents <= 0 {
 		return fmt.Errorf("vt: spill threshold must be positive, got %d", thresholdEvents)
@@ -59,7 +83,17 @@ func (col *Collector) SpillTo(path string, thresholdEvents int) error {
 	if err != nil {
 		return fmt.Errorf("vt: spill: %w", err)
 	}
-	col.spill = &spillSink{f: f, path: path, threshold: thresholdEvents}
+	version := byte(spillVerbatimVersion)
+	if col.compact {
+		version = CompactVersion
+	}
+	hdr := append([]byte(spillMagic), version)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("vt: spill: %w", err)
+	}
+	col.spill = &spillSink{f: f, path: path, threshold: thresholdEvents, version: version}
 	return nil
 }
 
@@ -73,7 +107,7 @@ func (col *Collector) Spilled() int {
 
 // Resident reports how many events are held in memory (the arena suffix
 // not yet spilled).
-func (col *Collector) Resident() int { return len(col.store) }
+func (col *Collector) Resident() int { return col.residentLen() }
 
 // SpillErr reports the first spill I/O failure, if any.
 func (col *Collector) SpillErr() error {
@@ -86,17 +120,30 @@ func (col *Collector) SpillErr() error {
 // maybeSpill streams the arena to disk if it has outgrown the threshold.
 // Called at the end of every Append.
 func (s *spillSink) maybeSpill(col *Collector) {
-	if s.err != nil || len(col.store) < s.threshold {
+	if s.err != nil || col.residentLen() < s.threshold {
 		return
 	}
-	if cap(s.buf) < spillRecBytes*len(col.store) {
-		s.buf = make([]byte, spillRecBytes*len(col.store))
+	var payload []byte
+	if col.compact {
+		// One frame per resident block: the encoded bytes move to disk
+		// without being touched.
+		buf := s.buf[:0]
+		for _, b := range col.blocks {
+			buf = binary.AppendUvarint(buf, uint64(b.count))
+			buf = binary.AppendUvarint(buf, uint64(b.end-b.off))
+			buf = append(buf, col.carena[b.off:b.end]...)
+		}
+		s.buf, payload = buf, buf
+	} else {
+		if cap(s.buf) < spillRecBytes*len(col.store) {
+			s.buf = make([]byte, spillRecBytes*len(col.store))
+		}
+		payload = s.buf[:spillRecBytes*len(col.store)]
+		for i := range col.store {
+			putSpillRec(payload[i*spillRecBytes:], &col.store[i])
+		}
 	}
-	buf := s.buf[:spillRecBytes*len(col.store)]
-	for i := range col.store {
-		putSpillRec(buf[i*spillRecBytes:], &col.store[i])
-	}
-	if _, err := s.f.Write(buf); err != nil {
+	if _, err := s.f.Write(payload); err != nil {
 		s.err = fmt.Errorf("vt: spill: %w", err)
 		return
 	}
@@ -109,11 +156,34 @@ func (s *spillSink) maybeSpill(col *Collector) {
 	for _, seg := range col.segs {
 		s.segs = append(s.segs, spillSeg{start: s.count + seg.start, end: s.count + seg.end})
 	}
-	s.count += len(col.store)
+	s.count += col.residentLen()
+	s.bytes += len(payload)
 	col.store = col.store[:0]
 	col.segs = col.segs[:0]
+	col.carena = col.carena[:0]
+	col.blocks = col.blocks[:0]
+	col.count = 0
 	col.merged = nil
 	col.mergedN = -1
+}
+
+// checkHeader validates the spill file's magic and version against what
+// this sink wrote, returning a *FormatError on mismatch. It guards every
+// read path so a file swapped or truncated underneath the collector — or
+// one written by a different format revision — is rejected rather than
+// misparsed.
+func (s *spillSink) checkHeader() error {
+	var hdr [spillHdrBytes]byte
+	if _, err := s.f.ReadAt(hdr[:], 0); err != nil {
+		return &FormatError{What: "spill file", Version: -1, Detail: "truncated header"}
+	}
+	if string(hdr[:len(spillMagic)]) != spillMagic {
+		return &FormatError{What: "spill file", Version: -1, Detail: "bad magic"}
+	}
+	if hdr[len(spillMagic)] != s.version {
+		return &FormatError{What: "spill file", Version: int(hdr[len(spillMagic)])}
+	}
+	return nil
 }
 
 // combined restores the full insertion-ordered store — disk prefix plus
@@ -137,14 +207,67 @@ func (s *spillSink) combined(col *Collector) ([]Event, []segRange) {
 	return all, segs
 }
 
-// readAll decodes the whole spill file into out (len(out) == count).
+// readAll decodes the whole version-1 spill payload into out
+// (len(out) == count).
 func (s *spillSink) readAll(out []Event) error {
+	if err := s.checkHeader(); err != nil {
+		return err
+	}
 	buf := make([]byte, spillRecBytes*len(out))
-	if _, err := s.f.ReadAt(buf, 0); err != nil {
+	if _, err := s.f.ReadAt(buf, int64(spillHdrBytes)); err != nil {
 		return fmt.Errorf("vt: spill: %w", err)
 	}
 	for i := range out {
 		getSpillRec(buf[i*spillRecBytes:], &out[i])
+	}
+	return nil
+}
+
+// decodeAll appends the decoded events of the whole version-2 spill
+// payload to dst, walking its length-prefixed frames.
+func (s *spillSink) decodeAll(dst []Event) ([]Event, error) {
+	if err := s.checkHeader(); err != nil {
+		return dst, err
+	}
+	payload := make([]byte, s.bytes)
+	if _, err := s.f.ReadAt(payload, int64(spillHdrBytes)); err != nil {
+		return dst, fmt.Errorf("vt: spill: %w", err)
+	}
+	dec := decoderPool.Get().(*decoder)
+	defer decoderPool.Put(dec)
+	decoded, p := 0, 0
+	for decoded < s.count {
+		count, n := binary.Uvarint(payload[p:])
+		if n <= 0 {
+			return dst, &FormatError{What: "spill file", Version: -1, Detail: "truncated frame header"}
+		}
+		p += n
+		blen, n := binary.Uvarint(payload[p:])
+		if n <= 0 || count == 0 || uint64(p+n)+blen > uint64(len(payload)) {
+			return dst, &FormatError{What: "spill file", Version: -1, Detail: "bad frame header"}
+		}
+		p += n
+		var err error
+		dst, _, _, err = dec.block(payload[p:p+int(blen)], int(count), dst)
+		if err != nil {
+			return dst, err
+		}
+		p += int(blen)
+		decoded += int(count)
+	}
+	if p != len(payload) {
+		return dst, &FormatError{What: "spill file", Version: -1, Detail: "trailing bytes after final frame"}
+	}
+	return dst, nil
+}
+
+// copyFrames streams the version-2 spill payload — already framed — to w.
+func (s *spillSink) copyFrames(w io.Writer) error {
+	if err := s.checkHeader(); err != nil {
+		return err
+	}
+	if _, err := io.Copy(w, io.NewSectionReader(s.f, int64(spillHdrBytes), int64(s.bytes))); err != nil {
+		return fmt.Errorf("vt: spill: %w", err)
 	}
 	return nil
 }

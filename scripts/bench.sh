@@ -25,6 +25,12 @@
 #                                 with reconvergence latency percentiles,
 #                                 lost-event fraction, co-tenant latency
 #                                 impact and per-cell wall times.
+#   scripts/bench.sh compact      trace-compaction sweep: bytes/event at
+#                                 Full instrumentation on all four kernels
+#                                 (verbatim vs redundancy-suppressed) plus
+#                                 the collector encode/decode/dump
+#                                 microbenchmarks, emitting
+#                                 OUTDIR/BENCH_PR10.json.
 #
 # Environment:
 #   OUTDIR      where full-mode output goes (default: bench.out)
@@ -193,6 +199,62 @@ if [ "${1:-}" = "recover" ]; then
         > "$OUTDIR/BENCH_PR9.json"
     echo "bench.sh: wrote $OUTDIR/BENCH_PR9.json" >&2
     jq . "$OUTDIR/BENCH_PR9.json"
+    exit 0
+fi
+
+if [ "${1:-}" = "compact" ]; then
+    # Compact mode: the trace-volume sweep (all four kernels at Full
+    # instrumentation, verbatim vs redundancy-suppressed collector) plus
+    # the collector microbenchmarks that carry the host-time half of the
+    # story (online encode cost per batch, raw encode/decode throughput,
+    # and the trace dump: text formatting vs compact block copy-out on an
+    # identical workload). Cells run with -parallel 1 so the wall times
+    # are per-cell.
+    OUTDIR=${OUTDIR:-bench.out}
+    BENCHTIME=${BENCHTIME:-1s}
+    mkdir -p "$OUTDIR"
+
+    echo "bench.sh: compact sweep (4 kernels, verbatim vs suppressed)" >&2
+    go run ./cmd/experiments -compact -parallel 1 \
+        -jsonl "$OUTDIR/compact.jsonl" > "$OUTDIR/compact.txt"
+
+    echo "bench.sh: collector encode/decode/dump microbenchmarks" >&2
+    go test -run NONE \
+        -bench 'BenchmarkCollectorAppend$|BenchmarkCollectorAppendCompact|BenchmarkCompactEncode|BenchmarkCompactDecode|BenchmarkCollectorWriteTrace|BenchmarkCollectorWriteCompactTrace' \
+        -benchtime "$BENCHTIME" -benchmem -timeout 10m ./internal/vt/ \
+        | tee "$OUTDIR/compact_micro.txt" >&2
+
+    jq -n \
+        --arg date "$(date +%Y-%m-%d)" \
+        --arg go "$(go env GOVERSION)" \
+        --arg goos "$(go env GOOS)" \
+        --arg goarch "$(go env GOARCH)" \
+        --argjson ncpu "$(getconf _NPROCESSORS_ONLN)" \
+        --slurpfile a "$OUTDIR/compact.jsonl" \
+        --argjson micro "$(parse_bench "$OUTDIR/compact_micro.txt")" \
+        '["smg98", "sppm", "sweep3d", "umt98"] as $apps |
+         {pr: 10,
+          title: "Online trace redundancy suppression: bytes/event and collector host time",
+          date: $date, go: $go, goos: $goos, goarch: $goarch, host_cpus: $ncpu,
+          commands: [
+            "experiments -compact -parallel 1",
+            "go test -bench Collector|Compact ./internal/vt/"
+          ],
+          kernels: [ $a[] | select(.series == "verbatim") | . as $x |
+            ($a[] | select(.series == "compact" and .cpus == $x.cpus)) as $y |
+            {kernel: $apps[$x.cpus - 1],
+             events: $x.events,
+             verbatim_bytes_per_event: $x.value,
+             compact_bytes_per_event: $y.value,
+             reduction_x: (if $y.value > 0
+                           then ($x.value / $y.value * 100 | round / 100)
+                           else null end),
+             sim_s: $x.sim_s,
+             wall_ms: (($x.wall_ms + $y.wall_ms) | round)} ],
+          collector: $micro}' \
+        > "$OUTDIR/BENCH_PR10.json"
+    echo "bench.sh: wrote $OUTDIR/BENCH_PR10.json" >&2
+    jq . "$OUTDIR/BENCH_PR10.json"
     exit 0
 fi
 

@@ -97,3 +97,29 @@ go test -race -run 'TestRecoverCell|TestRecoverStoreRoundTrip' ./internal/exp/
 "$smoke/experiments" -recover -parallel 1 > "$smoke/recover1.txt"
 "$smoke/experiments" -recover -parallel 8 > "$smoke/recover8.txt"
 cmp "$smoke/recover1.txt" "$smoke/recover8.txt"
+
+# Race pass over the trace-compaction paths: the compact encoder/decoder,
+# the byte-budget overflow policies, the version-checked spill file, and
+# the per-kernel VGV equivalence suite.
+go test -race -run 'TestCompact|TestByteBudget|TestSpillRejects|TestReadTraceAuto' \
+    ./internal/vt/ ./internal/vgv/ ./internal/exp/
+
+# Compact smoke 1: the compaction figure (bytes/event at Full on all four
+# kernels) must render the same bytes at any host parallelism — encoded
+# sizes are a pure function of the simulated event stream.
+"$smoke/experiments" -compact -parallel 1 > "$smoke/compact1.txt"
+"$smoke/experiments" -compact -parallel 8 > "$smoke/compact8.txt"
+cmp "$smoke/compact1.txt" "$smoke/compact8.txt"
+
+# Compact smoke 2: end to end through the CLIs, a suppressed run's compact
+# binary trace must decode to the same analysis bytes as a verbatim run's
+# textual trace (vgv sniffs the format).
+go build -o "$smoke/dynprof" ./cmd/dynprof
+go build -o "$smoke/vgv" ./cmd/vgv
+printf 'start\nquit\n' | "$smoke/dynprof" -procs 4 -trace "$smoke/v.vgv" \
+    - - "$smoke/tf1.txt" sweep3d nx=64 ny=4 nz=4 iters=1 > /dev/null
+printf 'start\nquit\n' | "$smoke/dynprof" -procs 4 -trace-compact \
+    -trace "$smoke/c.vgv" - - "$smoke/tf2.txt" sweep3d nx=64 ny=4 nz=4 iters=1 > /dev/null
+"$smoke/vgv" -trace "$smoke/v.vgv" > "$smoke/vgv_verbatim.txt"
+"$smoke/vgv" -trace "$smoke/c.vgv" > "$smoke/vgv_compact.txt"
+cmp "$smoke/vgv_verbatim.txt" "$smoke/vgv_compact.txt"
